@@ -1,0 +1,63 @@
+//! P2/P3 — end-to-end CDS construction performance of all four
+//! algorithms on shared instances, plus phase-1 and pruning in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcds_cds::algorithms::Algorithm;
+use mcds_udg::{gen, Udg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixed_instance(n: usize) -> Udg {
+    let side = gen::side_for_avg_degree(n, 12.0);
+    let mut rng = StdRng::seed_from_u64(42 + n as u64);
+    gen::connected_uniform(&mut rng, n, side, 100)
+        .unwrap_or_else(|| gen::giant_component_instance(&mut rng, n, side))
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    for &n in &[200usize, 800] {
+        let udg = fixed_instance(n);
+        let mut group = c.benchmark_group(format!("cds_n{n}"));
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &udg, |b, udg| {
+                b.iter(|| black_box(alg.run(udg.graph()).expect("connected")));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_mis_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_phase1");
+    for &n in &[200usize, 800, 3200] {
+        let udg = fixed_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &udg, |b, udg| {
+            b.iter(|| black_box(mcds_mis::BfsMis::compute(udg.graph(), 0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_ablation");
+    for &n in &[200usize, 800] {
+        let udg = fixed_instance(n);
+        let cds = Algorithm::GreedyConnect
+            .run(udg.graph())
+            .expect("connected");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(udg, cds),
+            |b, (udg, cds)| {
+                b.iter(|| {
+                    black_box(mcds_cds::prune::prune_cds(udg.graph(), cds.nodes()).expect("valid"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_mis_phase, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! P1 — substrate performance: unit-disk-graph construction.
+//!
+//! Compares the expected-`O(n + m)` grid construction against the naive
+//! `O(n²)` reference across instance sizes, plus the spatial index's
+//! close-pair enumeration on its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcds_geom::grid::GridIndex;
+use mcds_udg::{gen, Udg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_udg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_build");
+    for &n in &[100usize, 400, 1600] {
+        // Constant density: ~12 expected neighbors.
+        let side = gen::side_for_avg_degree(n, 12.0);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let pts = gen::uniform_in_square(&mut rng, n, side);
+        group.bench_with_input(BenchmarkId::new("grid", n), &pts, |b, pts| {
+            b.iter(|| Udg::build(black_box(pts.clone())));
+        });
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &pts, |b, pts| {
+                b.iter(|| Udg::build_naive(black_box(pts.clone()), 1.0));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_close_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_close_pairs");
+    for &n in &[400usize, 1600] {
+        let side = gen::side_for_avg_degree(n, 12.0);
+        let mut rng = StdRng::seed_from_u64(7 + n as u64);
+        let pts = gen::uniform_in_square(&mut rng, n, side);
+        let index = GridIndex::build(&pts, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &index, |b, idx| {
+            b.iter(|| black_box(idx.close_pairs(1.0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_udg_build, bench_close_pairs);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! P5 — distributed-pipeline throughput: the three-phase WAF protocol in
+//! the synchronous simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcds_distsim::pipeline::run_waf_distributed;
+use mcds_udg::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_waf");
+    for &n in &[100usize, 400, 1600] {
+        let side = gen::side_for_avg_degree(n, 12.0);
+        let mut rng = StdRng::seed_from_u64(77 + n as u64);
+        let udg = gen::connected_uniform(&mut rng, n, side, 100)
+            .unwrap_or_else(|| gen::giant_component_instance(&mut rng, n, side));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &udg, |b, udg| {
+            b.iter(|| black_box(run_waf_distributed(udg.graph()).expect("connected")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! P4 — exact-solver scaling: the branch & bound engines behind the
+//! ratio experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcds_exact::{max_independent_set, min_connected_dominating_set, min_dominating_set};
+use mcds_udg::{gen, Udg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(n: usize, side: f64) -> Udg {
+    let mut rng = StdRng::seed_from_u64(1000 + n as u64);
+    gen::connected_uniform(&mut rng, n, side, 200)
+        .unwrap_or_else(|| gen::giant_component_instance(&mut rng, n, side))
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_alpha");
+    for &(n, side) in &[(20usize, 2.5), (40, 3.5), (80, 5.0)] {
+        let udg = instance(n, side);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &udg, |b, udg| {
+            b.iter(|| black_box(max_independent_set(udg.graph())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_gamma");
+    group.sample_size(10);
+    for &(n, side) in &[(16usize, 2.0), (24, 3.0)] {
+        let udg = instance(n, side);
+        group.bench_with_input(BenchmarkId::new("ds", n), &udg, |b, udg| {
+            b.iter(|| black_box(min_dominating_set(udg.graph())));
+        });
+        group.bench_with_input(BenchmarkId::new("cds", n), &udg, |b, udg| {
+            b.iter(|| black_box(min_connected_dominating_set(udg.graph())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha, bench_gamma);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! E16 — the anatomy of Theorem 10: verifying the proof's *internal*
+//! inequalities, not just the final bound.
+//!
+//! The Theorem-10 proof splits the greedy connector sequence by
+//! component-count thresholds into `C₁` (`|C₁| ≤ 1`), `C₂`
+//! (`|C₂| ≤ 13γ_c/18 − 1`) and `C₃` (`|C₃| ≤ 2γ_c − 1`).  On every
+//! exactly-solved instance, this experiment reproduces that split from
+//! the recorded component-count trace and checks each piece against its
+//! proof bound.
+//!
+//! Expected shape: zero violations anywhere; on random instances the
+//! split is extremely lopsided — `C₁` and `C₂` are almost always empty
+//! (the MIS is far below `⌊11γ_c/3⌋ − 3` components to begin with) and
+//! all the work happens in `C₃`, where gains of exactly 1 dominate.
+//! That lopsidedness is *why* random inputs sit so far below the
+//! worst-case ratio (E5).
+//!
+//! Usage: `exp_anatomy [--quick] [--seed <u64>] [--out <dir>]`
+
+use mcds_bench::sweeps::{instances, Cell};
+use mcds_bench::{f2, stats, ExpConfig, Table};
+use mcds_cds::accounting::{greedy_accounting, GreedyAccounting};
+use mcds_exact::{try_min_connected_dominating_set, DEFAULT_BUDGET};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let cells: Vec<Cell> = if cfg.quick {
+        vec![Cell {
+            n: 20,
+            side: 2.5,
+            instances: 6,
+        }]
+    } else {
+        vec![
+            Cell {
+                n: 16,
+                side: 2.0,
+                instances: 40,
+            },
+            Cell {
+                n: 20,
+                side: 2.5,
+                instances: 40,
+            },
+            Cell {
+                n: 24,
+                side: 3.0,
+                instances: 30,
+            },
+            Cell {
+                n: 28,
+                side: 3.0,
+                instances: 30,
+            },
+            Cell {
+                n: 32,
+                side: 3.5,
+                instances: 20,
+            },
+        ]
+    };
+
+    println!("E16: Theorem 10 proof anatomy — per-piece connector accounting\n");
+    let mut table = Table::new(&[
+        "n",
+        "side",
+        "solved",
+        "mean |I|",
+        "mean |C1|",
+        "mean |C2|",
+        "mean |C3|",
+        "C bound sum",
+        "violations",
+    ]);
+    let mut csv = cfg.csv("exp_anatomy");
+    if let Some(w) = csv.as_mut() {
+        w.row(&[
+            "n",
+            "side",
+            "solved",
+            "mean_i",
+            "mean_c1",
+            "mean_c2",
+            "mean_c3",
+            "bound_sum",
+            "violations",
+        ]);
+    }
+
+    let mut violations = 0usize;
+    for cell in cells {
+        let mut i_sizes = Vec::new();
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        let mut c3 = Vec::new();
+        let mut bound_sums = Vec::new();
+        let mut solved = 0usize;
+        for udg in instances(cell, cfg.seed) {
+            let g = udg.graph();
+            if g.num_nodes() < 2 {
+                continue;
+            }
+            let Ok(Some(opt)) = try_min_connected_dominating_set(g, DEFAULT_BUDGET) else {
+                continue;
+            };
+            let gamma_c = opt.len().max(1);
+            let acc = greedy_accounting(g, 0).expect("connected instance");
+            match acc.check(gamma_c) {
+                Ok(split) => {
+                    solved += 1;
+                    i_sizes.push(acc.mis_size as f64);
+                    c1.push(split.c1 as f64);
+                    c2.push(split.c2 as f64);
+                    c3.push(split.c3 as f64);
+                    let (b1, b2, b3) = GreedyAccounting::proof_bounds(gamma_c);
+                    bound_sums.push(b1 + b2.max(0.0) + b3);
+                }
+                Err(why) => {
+                    violations += 1;
+                    eprintln!("VIOLATION (n={}, side={}): {why}", cell.n, cell.side);
+                }
+            }
+        }
+        let row = [
+            cell.n.to_string(),
+            f2(cell.side),
+            solved.to_string(),
+            f2(stats::mean(&i_sizes)),
+            f2(stats::mean(&c1)),
+            f2(stats::mean(&c2)),
+            f2(stats::mean(&c3)),
+            f2(stats::mean(&bound_sums)),
+            violations.to_string(),
+        ];
+        table.row(&row);
+        if let Some(w) = csv.as_mut() {
+            w.row(&row);
+        }
+    }
+    table.print();
+    println!();
+    if violations == 0 {
+        println!(
+            "RESULT: every internal inequality of the Theorem-10 proof held on \
+             every solved instance; on random inputs nearly all connectors land \
+             in C3 (single merges), which is why empirical ratios sit far below \
+             the worst case — the C1/C2 slack is never consumed."
+        );
+    } else {
+        println!("RESULT: {violations} proof-accounting VIOLATIONS — investigate!");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! E12 (application) — broadcast cost over the constructed backbones.
+//!
+//! The reason the paper wants the CDS *small*: a broadcast relayed only
+//! by backbone nodes costs one transmission per backbone node (plus the
+//! source), versus one per node for blind flooding.  This experiment
+//! runs the actual relay protocol in the simulator for every algorithm's
+//! backbone and reports delivered coverage, transmissions and latency.
+//!
+//! Expected shape: all backbones deliver 100 % coverage; transmission
+//! savings track backbone size (≈ 60–75 % saved at moderate density);
+//! latency (rounds) grows modestly versus flooding because backbone
+//! detours can stretch paths by a constant factor.
+//!
+//! Usage: `exp_broadcast [--quick] [--seed <u64>] [--out <dir>]`
+
+use mcds_bench::sweeps::{instances, Cell};
+use mcds_bench::{f2, stats, ExpConfig, Table};
+use mcds_cds::algorithms::Algorithm;
+use mcds_distsim::protocols::run_broadcast;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let cells: Vec<Cell> = if cfg.quick {
+        vec![Cell {
+            n: 80,
+            side: 5.0,
+            instances: 3,
+        }]
+    } else {
+        vec![
+            Cell {
+                n: 150,
+                side: 6.0,
+                instances: 15,
+            },
+            Cell {
+                n: 300,
+                side: 9.0,
+                instances: 10,
+            },
+            Cell {
+                n: 600,
+                side: 12.0,
+                instances: 5,
+            },
+        ]
+    };
+
+    println!("E12 (application): broadcast over backbone vs blind flooding\n");
+    let mut table = Table::new(&["n", "side", "relays", "tx", "saved %", "rounds", "coverage"]);
+    let mut csv = cfg.csv("exp_broadcast");
+    if let Some(w) = csv.as_mut() {
+        w.row(&[
+            "n",
+            "side",
+            "strategy",
+            "tx",
+            "saved_pct",
+            "rounds",
+            "coverage",
+        ]);
+    }
+
+    let mut full_coverage = true;
+    for cell in cells {
+        // strategies: flooding + one per algorithm.
+        let names: Vec<String> = std::iter::once("flood".to_string())
+            .chain(Algorithm::ALL.iter().map(|a| a.name().to_string()))
+            .collect();
+        let mut tx: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        let mut rounds: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        let mut covered: Vec<bool> = vec![true; names.len()];
+        for udg in instances(cell, cfg.seed) {
+            let g = udg.graph();
+            if g.num_nodes() < 2 {
+                continue;
+            }
+            let source = 0usize;
+            let all: Vec<usize> = (0..g.num_nodes()).collect();
+            let flood = run_broadcast(g, source, &all).expect("valid protocol");
+            covered[0] &= flood.reached == g.num_nodes();
+            tx[0].push(flood.stats.transmissions as f64);
+            rounds[0].push(flood.stats.rounds as f64);
+            for (i, alg) in Algorithm::ALL.iter().enumerate() {
+                let backbone = alg.run(g).expect("connected");
+                let out = run_broadcast(g, source, backbone.nodes()).expect("valid protocol");
+                covered[i + 1] &= out.reached == g.num_nodes();
+                tx[i + 1].push(out.stats.transmissions as f64);
+                rounds[i + 1].push(out.stats.rounds as f64);
+            }
+        }
+        let flood_tx = stats::mean(&tx[0]);
+        for (i, name) in names.iter().enumerate() {
+            full_coverage &= covered[i];
+            let mean_tx = stats::mean(&tx[i]);
+            let saved = 100.0 * (1.0 - mean_tx / flood_tx);
+            let row = [
+                cell.n.to_string(),
+                f2(cell.side),
+                name.clone(),
+                f2(mean_tx),
+                f2(saved),
+                f2(stats::mean(&rounds[i])),
+                covered[i].to_string(),
+            ];
+            table.row(&row);
+            if let Some(w) = csv.as_mut() {
+                w.row(&row);
+            }
+        }
+    }
+    table.print();
+    println!();
+    if full_coverage {
+        println!(
+            "RESULT: every backbone delivered 100% coverage (domination + \
+             connectivity at work); transmission savings track backbone size, \
+             which is exactly why the paper optimizes |CDS|."
+        );
+    } else {
+        println!("RESULT: a backbone FAILED to cover the network — CDS bug!");
+        std::process::exit(1);
+    }
+}

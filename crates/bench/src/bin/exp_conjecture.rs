@@ -1,0 +1,133 @@
+//! E8 — probing the Section-V conjecture: is `3(n+1)` the most
+//! independent points that fit in the neighborhood of any connected
+//! planar set of `n ≥ 3` points?
+//!
+//! Two searches per set size `n`:
+//!
+//! 1. **Adversarial family** — the paper's own collinear chain (Fig. 2),
+//!    which achieves exactly `3(n+1)`.
+//! 2. **Randomized search** — random connected sets (uniform in squares
+//!    of several densities) with many randomized greedy packings of a
+//!    jittered candidate grid over the neighborhood.
+//!
+//! Expected shape: the random search never beats the chain, and both stay
+//! below Theorem 6's `11n/3 + 1` — evidence (not proof) for the
+//! conjecture, which would push the algorithms' ratios to 6 and 5.5.
+//!
+//! Usage: `exp_conjecture [--quick] [--seed <u64>] [--out <dir>]`
+
+use mcds_bench::{f2, ExpConfig, Table};
+use mcds_geom::packing::{connected_set_bound, greedy_pack_in_neighborhood};
+use mcds_geom::{Aabb, Point};
+use mcds_mis::constructions::fig2_chain;
+use mcds_udg::{gen, Udg};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let (sizes, sets_per_n, packs_per_set): (Vec<usize>, usize, usize) = if cfg.quick {
+        (vec![3, 4, 5], 4, 8)
+    } else {
+        (vec![3, 4, 5, 6, 8, 10, 12], 24, 40)
+    };
+
+    println!("E8: max independent points in the neighborhood of n connected points\n");
+    let mut table = Table::new(&[
+        "n",
+        "chain 3(n+1)",
+        "random best",
+        "thm6 bound",
+        "conj holds",
+    ]);
+    let mut csv = cfg.csv("exp_conjecture");
+    if let Some(w) = csv.as_mut() {
+        w.row(&["n", "chain", "random_best", "thm6", "holds"]);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut all_hold = true;
+    for &n in &sizes {
+        let chain = fig2_chain(n, 0.02);
+        chain.verify().expect("Fig. 2 construction must verify");
+        let chain_count = chain.independent.len();
+
+        let mut random_best = 0usize;
+        for _ in 0..sets_per_n {
+            let set = random_connected_set(&mut rng, n);
+            let best = best_packing(&mut rng, &set, packs_per_set);
+            random_best = random_best.max(best);
+        }
+
+        let conj = 3 * (n + 1);
+        let holds = random_best <= conj && chain_count == conj;
+        all_hold &= holds;
+        let row = [
+            n.to_string(),
+            chain_count.to_string(),
+            random_best.to_string(),
+            f2(connected_set_bound(n)),
+            holds.to_string(),
+        ];
+        table.row(&row);
+        if let Some(w) = csv.as_mut() {
+            w.row(&row);
+        }
+    }
+    table.print();
+    println!();
+    if all_hold {
+        println!(
+            "RESULT: no instance beat the collinear chain's 3(n+1); consistent \
+             with the Section-V conjecture (which, if proven, lowers the \
+             algorithms' ratios to 6 and 5.5)."
+        );
+    } else {
+        println!(
+            "RESULT: a packing EXCEEDED 3(n+1) — a counterexample candidate to \
+             the conjecture; re-verify carefully!"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// A random connected planar set of exactly `n` points.
+fn random_connected_set(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    loop {
+        // Mix densities: tight clusters to stretched sets.
+        let side = rng.gen_range(0.8..(n as f64).max(1.5));
+        let pts = gen::uniform_in_square(rng, n, side);
+        if Udg::build(pts.clone()).graph().is_connected() {
+            return pts;
+        }
+    }
+}
+
+/// Best greedy packing over `tries` shuffles of a jittered candidate grid
+/// covering the neighborhood.
+fn best_packing(rng: &mut StdRng, set: &[Point], tries: usize) -> usize {
+    let bb = Aabb::of_points(set.iter().copied())
+        .expect("nonempty set")
+        .inflated(1.05);
+    // Candidate grid at ~0.2 pitch with jitter; dense enough to realize
+    // near-optimal packings, cheap enough to shuffle many times.
+    let pitch = 0.2;
+    let cols = (bb.width() / pitch).ceil() as usize + 1;
+    let rows = (bb.height() / pitch).ceil() as usize + 1;
+    let mut best = 0usize;
+    for _ in 0..tries {
+        let mut candidates: Vec<Point> = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let jx = rng.gen_range(-0.08..0.08);
+                let jy = rng.gen_range(-0.08..0.08);
+                candidates
+                    .push(bb.min() + Point::new(c as f64 * pitch + jx, r as f64 * pitch + jy));
+            }
+        }
+        candidates.shuffle(rng);
+        best = best.max(greedy_pack_in_neighborhood(set, &candidates).len());
+    }
+    best
+}

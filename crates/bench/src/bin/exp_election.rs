@@ -1,0 +1,128 @@
+//! E15 (distributed systems) — MIS election styles: rank-based
+//! first-fit vs Luby's randomized algorithm.
+//!
+//! The paper's phase 1 uses the deterministic rank-based election (it
+//! *needs* the specific BFS-ordered MIS for its 2-hop separation and the
+//! Theorem 8/10 accounting).  Luby's algorithm is the classic
+//! alternative: randomized, diameter-independent `O(log n)` phases, but
+//! it outputs an *arbitrary* MIS — exactly the kind the paper's analysis
+//! shows is weaker (no 2-hop separation; see the `arb-mis` baseline).
+//!
+//! Expected shape: rank-based rounds grow with the diameter (≈ √n at
+//! constant density, plus the flooding phase that feeds it ranks);
+//! Luby's rounds grow logarithmically; both produce valid MISs of
+//! similar size.
+//!
+//! Usage: `exp_election [--quick] [--seed <u64>] [--out <dir>]`
+
+use mcds_bench::sweeps::{instances, Cell};
+use mcds_bench::{f2, stats, ExpConfig, Table};
+use mcds_distsim::protocols::{FloodBfs, LubyMis, MisElection};
+use mcds_distsim::Simulator;
+use mcds_graph::properties;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let cells: Vec<Cell> = if cfg.quick {
+        vec![Cell {
+            n: 60,
+            side: 4.0,
+            instances: 3,
+        }]
+    } else {
+        vec![
+            Cell {
+                n: 100,
+                side: 5.0,
+                instances: 10,
+            },
+            Cell {
+                n: 400,
+                side: 10.0,
+                instances: 8,
+            },
+            Cell {
+                n: 1600,
+                side: 20.0,
+                instances: 4,
+            },
+        ]
+    };
+
+    println!("E15: MIS election — rank-based (paper) vs Luby (randomized)\n");
+    let mut table = Table::new(&["n", "scheme", "rounds", "tx/node", "|MIS|", "valid"]);
+    let mut csv = cfg.csv("exp_election");
+    if let Some(w) = csv.as_mut() {
+        w.row(&["n", "scheme", "rounds", "tx_per_node", "mis_size", "valid"]);
+    }
+
+    for cell in cells {
+        let mut rank_rounds = Vec::new();
+        let mut rank_tx = Vec::new();
+        let mut rank_size = Vec::new();
+        let mut luby_rounds = Vec::new();
+        let mut luby_tx = Vec::new();
+        let mut luby_size = Vec::new();
+        let mut all_valid = true;
+        for (k, udg) in instances(cell, cfg.seed).into_iter().enumerate() {
+            let g = udg.graph();
+            if g.num_nodes() < 2 {
+                continue;
+            }
+            let sim = Simulator::new();
+            // Rank-based needs the flooding phase first (ranks = levels);
+            // count both, since that is the real cost of determinism.
+            let mut flood: Vec<FloodBfs> = (0..g.num_nodes()).map(|_| FloodBfs::new()).collect();
+            let fstats = sim.run(g, &mut flood).expect("flood quiesces");
+            let mut rank_nodes: Vec<MisElection> = (0..g.num_nodes())
+                .map(|v| MisElection::new((flood[v].result().level, v)))
+                .collect();
+            let rstats = sim.run(g, &mut rank_nodes).expect("election quiesces");
+            let rank_mis: Vec<usize> = (0..g.num_nodes())
+                .filter(|&v| rank_nodes[v].in_mis() == Some(true))
+                .collect();
+            all_valid &= properties::is_maximal_independent_set(g, &rank_mis);
+            rank_rounds.push((fstats.rounds + rstats.rounds) as f64);
+            rank_tx
+                .push((fstats.transmissions + rstats.transmissions) as f64 / g.num_nodes() as f64);
+            rank_size.push(rank_mis.len() as f64);
+
+            let mut luby_nodes: Vec<LubyMis> = (0..g.num_nodes())
+                .map(|v| LubyMis::new(cfg.seed ^ k as u64, v))
+                .collect();
+            let lstats = sim.run(g, &mut luby_nodes).expect("luby quiesces");
+            let luby_mis: Vec<usize> = (0..g.num_nodes())
+                .filter(|&v| luby_nodes[v].in_mis() == Some(true))
+                .collect();
+            all_valid &= properties::is_maximal_independent_set(g, &luby_mis);
+            luby_rounds.push(lstats.rounds as f64);
+            luby_tx.push(lstats.transmissions as f64 / g.num_nodes() as f64);
+            luby_size.push(luby_mis.len() as f64);
+        }
+        for (scheme, rounds, tx, size) in [
+            ("rank+flood", &rank_rounds, &rank_tx, &rank_size),
+            ("luby", &luby_rounds, &luby_tx, &luby_size),
+        ] {
+            let row = [
+                cell.n.to_string(),
+                scheme.to_string(),
+                f2(stats::mean(rounds)),
+                f2(stats::mean(tx)),
+                f2(stats::mean(size)),
+                all_valid.to_string(),
+            ];
+            table.row(&row);
+            if let Some(w) = csv.as_mut() {
+                w.row(&row);
+            }
+        }
+    }
+    table.print();
+    println!();
+    println!(
+        "RESULT: Luby terminates in near-constant rounds regardless of scale \
+         (O(log n) phases) while rank-based pays the diameter; the paper \
+         accepts that cost because ONLY the BFS-ordered MIS carries the 2-hop \
+         separation its Theorems 8/10 are built on."
+    );
+}

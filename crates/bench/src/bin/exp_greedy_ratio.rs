@@ -1,0 +1,24 @@
+//! E5 — Theorem 10: the new greedy-connector algorithm's CDS is at most
+//! `6 7/18·γ_c(G)` on connected unit-disk graphs.
+//!
+//! Measures `|I ∪ C| / γ_c` on random connected UDGs with the exact
+//! `γ_c` from branch & bound.  Expected shape: slightly smaller CDSs
+//! than E4 on the same seeds, ratios far below the worst-case `6.389`,
+//! zero violations.
+//!
+//! Usage: `exp_greedy_ratio [--quick] [--seed <u64>] [--out <dir>]`
+
+use mcds_bench::sweeps::run_ratio_experiment;
+use mcds_bench::ExpConfig;
+use mcds_cds::algorithms::Algorithm;
+use mcds_mis::bounds::GREEDY_RATIO;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    run_ratio_experiment(
+        Algorithm::GreedyConnect,
+        GREEDY_RATIO,
+        "E5 (Theorem 10)",
+        &cfg,
+    );
+}

@@ -1,0 +1,172 @@
+//! A uniform registry over all CDS constructions, for the experiment
+//! harness and examples.
+
+use mcds_graph::Graph;
+
+use crate::{
+    arbitrary_mis_cds, chvatal_cds, greedy_cds, greedy_growth_cds, waf_cds, Cds, CdsError,
+};
+
+/// The CDS algorithms this crate implements, as data.
+///
+/// `Algorithm::ALL` enumerates them in the order experiments report them.
+///
+/// ```
+/// use mcds_graph::Graph;
+/// use mcds_cds::algorithms::Algorithm;
+///
+/// let g = Graph::cycle(12);
+/// for alg in Algorithm::ALL {
+///     let cds = alg.run(&g)?;
+///     assert!(cds.verify(&g).is_ok(), "{}", alg.name());
+/// }
+/// # Ok::<(), mcds_cds::CdsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Wan–Alzoubi–Frieder \[10\], ratio ≤ 7⅓ (paper Section III).
+    WafTree,
+    /// The paper's new greedy-connector algorithm, ratio ≤ 6 7/18
+    /// (Section IV).
+    GreedyConnect,
+    /// Chvátal greedy set-cover dominators + shortest-path connectors
+    /// \[2\]; logarithmic ratio.
+    ChvatalSetCover,
+    /// Arbitrary (lexicographic) MIS + max-gain connectors \[1\]/\[9\].
+    ArbitraryMis,
+    /// Single-phase Guha–Khuller-style greedy growth; `O(log Δ)` ratio
+    /// on general graphs.
+    GreedyGrowth,
+}
+
+impl Algorithm {
+    /// All algorithms, in canonical reporting order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::GreedyConnect,
+        Algorithm::WafTree,
+        Algorithm::ArbitraryMis,
+        Algorithm::ChvatalSetCover,
+        Algorithm::GreedyGrowth,
+    ];
+
+    /// Short stable identifier (used in CSV headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::WafTree => "waf",
+            Algorithm::GreedyConnect => "greedy",
+            Algorithm::ChvatalSetCover => "chvatal",
+            Algorithm::ArbitraryMis => "arb-mis",
+            Algorithm::GreedyGrowth => "gk-grow",
+        }
+    }
+
+    /// Human-readable description with the provenance reference.
+    pub fn description(self) -> &'static str {
+        match self {
+            Algorithm::WafTree => "WAF tree connectors [10], ratio ≤ 7 1/3 (Thm 8)",
+            Algorithm::GreedyConnect => {
+                "greedy max-gain connectors (Sec. IV), ratio ≤ 6 7/18 (Thm 10)"
+            }
+            Algorithm::ChvatalSetCover => "Chvátal set-cover + path connectors [2], ratio O(log Δ)",
+            Algorithm::ArbitraryMis => "arbitrary MIS + max-gain connectors [1]/[9]",
+            Algorithm::GreedyGrowth => {
+                "single-phase greedy growth (Guha-Khuller style), ratio O(log Δ)"
+            }
+        }
+    }
+
+    /// The proven approximation-ratio bound on unit-disk graphs, if a
+    /// constant one is known.
+    pub fn ratio_bound(self) -> Option<f64> {
+        match self {
+            Algorithm::WafTree => Some(mcds_mis::bounds::WAF_RATIO),
+            Algorithm::GreedyConnect => Some(mcds_mis::bounds::GREEDY_RATIO),
+            Algorithm::ChvatalSetCover => None,
+            // The arbitrary-MIS family has a constant ratio too (via
+            // α ≤ 11/3 γ_c + 1 and one connector per extra component) but
+            // the paper proves none for this exact variant; report none.
+            Algorithm::ArbitraryMis => None,
+            Algorithm::GreedyGrowth => None,
+        }
+    }
+
+    /// Runs the algorithm on `g`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`CdsError`].
+    pub fn run(self, g: &Graph) -> Result<Cds, CdsError> {
+        match self {
+            Algorithm::WafTree => waf_cds(g),
+            Algorithm::GreedyConnect => greedy_cds(g),
+            Algorithm::ChvatalSetCover => chvatal_cds(g),
+            Algorithm::ArbitraryMis => arbitrary_mis_cds(g),
+            Algorithm::GreedyGrowth => greedy_growth_cds(g),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_runs_everything() {
+        let g = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 0),
+                (2, 7),
+            ],
+        );
+        for alg in Algorithm::ALL {
+            let cds = alg.run(&g).unwrap();
+            cds.verify(&g).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(!alg.name().is_empty());
+            assert!(!alg.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn ratio_bounds_match_paper() {
+        assert_eq!(
+            Algorithm::WafTree.ratio_bound(),
+            Some(mcds_mis::bounds::WAF_RATIO)
+        );
+        assert_eq!(
+            Algorithm::GreedyConnect.ratio_bound(),
+            Some(mcds_mis::bounds::GREEDY_RATIO)
+        );
+        assert_eq!(Algorithm::ChvatalSetCover.ratio_bound(), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.to_string(), alg.name());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by all CDS constructions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a CDS construction could not run.
+///
+/// All algorithms in this crate require a connected, non-empty input graph
+/// (the paper's standing assumption: a CDS of a disconnected graph does
+/// not exist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdsError {
+    /// The input graph has no nodes.
+    EmptyGraph,
+    /// The input graph is disconnected; no CDS exists.
+    DisconnectedGraph,
+    /// An internal invariant failed (e.g. the greedy connector found no
+    /// positive-gain node while components remain — impossible for a
+    /// valid MIS seed, so this indicates a bad seed set).
+    Stalled(String),
+}
+
+impl fmt::Display for CdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdsError::EmptyGraph => write!(f, "input graph has no nodes"),
+            CdsError::DisconnectedGraph => {
+                write!(f, "input graph is disconnected; no CDS exists")
+            }
+            CdsError::Stalled(what) => write!(f, "connector selection stalled: {what}"),
+        }
+    }
+}
+
+impl Error for CdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        assert!(CdsError::EmptyGraph.to_string().contains("no nodes"));
+        assert!(CdsError::DisconnectedGraph
+            .to_string()
+            .contains("disconnected"));
+        assert!(CdsError::Stalled("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<CdsError>();
+    }
+}

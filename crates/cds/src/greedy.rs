@@ -1,0 +1,159 @@
+//! The paper's new two-phased algorithm (Section IV): first-fit MIS plus
+//! greedy max-gain connectors.
+
+use mcds_graph::Graph;
+use mcds_mis::BfsMis;
+
+use crate::{connect, Cds, CdsError};
+
+/// Runs the Section-IV algorithm rooted at the minimum-id node.
+///
+/// See [`greedy_cds_rooted`].
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+/// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
+pub fn greedy_cds(g: &Graph) -> Result<Cds, CdsError> {
+    greedy_cds_rooted(g, 0)
+}
+
+/// Runs the paper's new algorithm with an explicit root.
+///
+/// Phase 1 is identical to [`crate::waf_cds_rooted`]: the BFS-ordered
+/// first-fit MIS `I`.  Phase 2 selects connectors *"in a natural greedy
+/// manner"*: while `G[I ∪ C]` has more than one connected component, add
+/// the node `w` of maximum gain `Δ_w q(C) = q(C) − q(C ∪ {w})`.  Lemma 9
+/// guarantees a node of gain ≥ 1 always exists, so the loop terminates
+/// with a CDS; Theorem 10 bounds the result by `6 7/18 · γ_c(G)`.
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+/// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn greedy_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
+    if g.num_nodes() == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    assert!(root < g.num_nodes(), "root {root} out of range");
+    let phase1 = BfsMis::compute(g, root);
+    if !phase1.tree().spans(g) {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let mis = phase1.mis().to_vec();
+    let connectors = connect::max_gain_connectors(g, &mis).map_err(|e| match e {
+        // An MIS of a connected graph can never stall (Lemma 9); surface
+        // any other error as-is.
+        CdsError::Stalled(msg) => CdsError::Stalled(format!("unexpected on MIS seed: {msg}")),
+        other => other,
+    })?;
+    Ok(Cds::new(mis, connectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waf_cds_rooted;
+    use mcds_graph::properties;
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        assert_eq!(greedy_cds(&Graph::empty(0)), Err(CdsError::EmptyGraph));
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(greedy_cds(&split), Err(CdsError::DisconnectedGraph));
+    }
+
+    #[test]
+    fn valid_on_named_families() {
+        let graphs = [
+            Graph::empty(1),
+            Graph::path(2),
+            Graph::path(15),
+            Graph::cycle(13),
+            Graph::star(9),
+            Graph::complete(6),
+        ];
+        for g in &graphs {
+            let cds = greedy_cds(g).unwrap();
+            cds.verify(g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+            assert!(
+                properties::is_maximal_independent_set(g, cds.dominators()),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_larger_than_waf_with_same_root() {
+        // Both algorithms share phase 1; greedy's phase 2 is at least as
+        // economical on these families (not a theorem in general, but a
+        // strong regularity the paper's Section IV motivates).
+        let graphs = [
+            Graph::path(20),
+            Graph::cycle(17),
+            Graph::from_edges(
+                12,
+                [
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 8),
+                    (8, 9),
+                    (9, 10),
+                    (10, 11),
+                    (0, 6),
+                    (3, 9),
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let waf = waf_cds_rooted(g, 0).unwrap();
+            let greedy = greedy_cds_rooted(g, 0).unwrap();
+            assert!(
+                greedy.len() <= waf.len(),
+                "{g:?}: greedy {} > waf {}",
+                greedy.len(),
+                waf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn connector_gains_all_positive() {
+        let g = Graph::path(25);
+        let cds = greedy_cds(&g).unwrap();
+        // Recompute the selection sequence (Cds stores connectors sorted).
+        let seq = connect::max_gain_connectors(&g, cds.dominators()).unwrap();
+        let trace = connect::gain_trace(&g, cds.dominators(), &seq);
+        assert!(trace.iter().all(|&t| t >= 1));
+        assert_eq!(
+            mcds_graph::node_set(seq),
+            cds.connectors().to_vec(),
+            "sorted selection sequence must equal the stored connectors"
+        );
+    }
+
+    #[test]
+    fn every_root_is_valid() {
+        let g = Graph::cycle(10);
+        for root in 0..10 {
+            let cds = greedy_cds_rooted(&g, root).unwrap();
+            cds.verify(&g)
+                .unwrap_or_else(|e| panic!("root {root}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_root_panics() {
+        let _ = greedy_cds_rooted(&Graph::path(2), 9);
+    }
+}

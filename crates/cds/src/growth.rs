@@ -1,0 +1,174 @@
+//! The classic single-phase greedy-growth CDS (Guha–Khuller style).
+//!
+//! Unlike the two-phased family, this baseline grows one connected set
+//! from a high-degree seed: repeatedly add the node adjacent to the
+//! current set that newly dominates the most still-undominated nodes.
+//! The set stays connected by construction and stops as soon as it
+//! dominates.  On general graphs its ratio is `O(log Δ)` (Guha & Khuller
+//! 1998); the CDS literature the paper builds on ([2], [8]) uses closely
+//! related greedy covers, which is why it belongs in the comparison pool.
+
+use mcds_graph::Graph;
+
+use crate::{Cds, CdsError};
+
+/// Runs the greedy-growth construction.
+///
+/// The seed is the maximum-degree node (ties toward the smaller id); each
+/// step adds the neighbor of the current set with the largest number of
+/// newly dominated nodes (ties toward the smaller id).  Progress is
+/// guaranteed on connected graphs: while some node is undominated, some
+/// candidate has positive gain.
+///
+/// The returned [`Cds`] reports the whole set as dominators (there is no
+/// phase split in this algorithm) and no connectors.
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+/// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
+pub fn greedy_growth_cds(g: &Graph) -> Result<Cds, CdsError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let seed = (0..n)
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+        .expect("nonempty");
+
+    let mut in_set = vec![false; n];
+    let mut dominated = vec![false; n];
+    let mut undominated = n;
+    let mut set = Vec::new();
+
+    let add = |v: usize,
+               in_set: &mut Vec<bool>,
+               dominated: &mut Vec<bool>,
+               undominated: &mut usize,
+               set: &mut Vec<usize>| {
+        in_set[v] = true;
+        set.push(v);
+        if !dominated[v] {
+            dominated[v] = true;
+            *undominated -= 1;
+        }
+        for u in g.neighbors_iter(v) {
+            if !dominated[u] {
+                dominated[u] = true;
+                *undominated -= 1;
+            }
+        }
+    };
+
+    add(
+        seed,
+        &mut in_set,
+        &mut dominated,
+        &mut undominated,
+        &mut set,
+    );
+
+    while undominated > 0 {
+        // Candidates: dominated non-members adjacent to the set (gray
+        // nodes).  Gain = newly dominated nodes.
+        let mut best: Option<(usize, usize)> = None; // (gain, node)
+        for v in 0..n {
+            if in_set[v] || !dominated[v] {
+                continue;
+            }
+            if !g.neighbors_iter(v).any(|u| in_set[u]) {
+                continue;
+            }
+            let gain = g.neighbors_iter(v).filter(|&u| !dominated[u]).count();
+            if gain == 0 {
+                continue;
+            }
+            match best {
+                Some((bg, bv)) if (bg, std::cmp::Reverse(bv)) >= (gain, std::cmp::Reverse(v)) => {}
+                _ => best = Some((gain, v)),
+            }
+        }
+        let (_, v) = best
+            .expect("connected graph with undominated nodes always has a positive-gain gray node");
+        add(v, &mut in_set, &mut dominated, &mut undominated, &mut set);
+    }
+    Ok(Cds::new(set, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_graph::properties;
+
+    #[test]
+    fn valid_on_named_families() {
+        let graphs = [
+            Graph::empty(1),
+            Graph::path(2),
+            Graph::path(12),
+            Graph::cycle(9),
+            Graph::star(8),
+            Graph::complete(6),
+        ];
+        for g in &graphs {
+            let cds = greedy_growth_cds(g).unwrap();
+            cds.verify(g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn star_and_complete_take_one_node() {
+        assert_eq!(greedy_growth_cds(&Graph::star(9)).unwrap().len(), 1);
+        assert_eq!(greedy_growth_cds(&Graph::complete(7)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn path_takes_interior() {
+        // Greedy grow on P_n: γ_c(P_n) = n − 2 and greedy achieves it
+        // (it never needs the endpoints).
+        for n in 3..20 {
+            let g = Graph::path(n);
+            let cds = greedy_growth_cds(&g).unwrap();
+            assert_eq!(cds.len(), n - 2, "P_{n}");
+        }
+    }
+
+    #[test]
+    fn intermediate_sets_stay_connected() {
+        // The output is connected by construction; verify on a lattice-ish
+        // graph.
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
+            ],
+        );
+        let cds = greedy_growth_cds(&g).unwrap();
+        assert!(properties::is_connected_dominating_set(&g, cds.nodes()));
+        assert!(cds.connectors().is_empty());
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        assert_eq!(
+            greedy_growth_cds(&Graph::empty(0)),
+            Err(CdsError::EmptyGraph)
+        );
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(greedy_growth_cds(&split), Err(CdsError::DisconnectedGraph));
+    }
+}

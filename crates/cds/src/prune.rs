@@ -1,0 +1,128 @@
+//! Redundant-node pruning — a validity-preserving post-pass (an extension
+//! beyond the paper, ablated in the E6 experiment).
+//!
+//! A CDS node is *redundant* if removing it leaves the set both dominating
+//! and connected.  Pruning scans candidates (largest sets first benefit
+//! most from a degree-descending order; we scan by descending degree with
+//! id tie-break) and removes greedily.  The result is a minimal — not
+//! minimum — CDS contained in the input.
+
+use mcds_graph::{node_mask, properties, subsets, Graph};
+
+/// Greedily removes redundant nodes from a valid CDS.
+///
+/// Returns the pruned node set (sorted).  The output is *1-minimal*: no
+/// single further removal keeps it a CDS.
+///
+/// # Errors
+///
+/// Returns an error (from [`properties::check_cds`]) if `set` is not a
+/// valid CDS of `g` to begin with.
+pub fn prune_cds(g: &Graph, set: &[usize]) -> Result<Vec<usize>, String> {
+    properties::check_cds(g, set)?;
+    let mut current: Vec<usize> = mcds_graph::node_set(set.iter().copied());
+    // Candidates by descending degree: high-degree nodes are more likely
+    // to be redundant hubs... actually low-degree CDS members (leaf-like
+    // connectors) are the cheap wins; scan ascending degree.
+    let mut order = current.clone();
+    order.sort_by_key(|&v| (g.degree(v), v));
+    for v in order {
+        if current.len() <= 1 {
+            break;
+        }
+        let candidate: Vec<usize> = current.iter().copied().filter(|&u| u != v).collect();
+        if is_cds_fast(g, &candidate) {
+            current = candidate;
+        }
+    }
+    Ok(current)
+}
+
+/// CDS check without the diagnostic string machinery (hot path).
+fn is_cds_fast(g: &Graph, set: &[usize]) -> bool {
+    if set.is_empty() {
+        return g.num_nodes() == 0;
+    }
+    let mask = node_mask(g.num_nodes(), set);
+    for v in 0..g.num_nodes() {
+        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
+            return false;
+        }
+    }
+    subsets::is_connected_subset(g, &mask)
+}
+
+/// How many nodes pruning saved on `set` (convenience for experiments).
+///
+/// # Errors
+///
+/// Propagates the validity error from [`prune_cds`].
+pub fn pruning_savings(g: &Graph, set: &[usize]) -> Result<usize, String> {
+    let pruned = prune_cds(g, set)?;
+    Ok(set.len() - pruned.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_cds, waf_cds};
+
+    #[test]
+    fn pruned_set_is_valid_and_minimal() {
+        let g = Graph::cycle(12);
+        let cds = waf_cds(&g).unwrap();
+        let pruned = prune_cds(&g, cds.nodes()).unwrap();
+        assert!(properties::check_cds(&g, &pruned).is_ok());
+        assert!(pruned.len() <= cds.len());
+        // 1-minimality: removing any single node breaks the CDS.
+        for &v in &pruned {
+            let smaller: Vec<usize> = pruned.iter().copied().filter(|&u| u != v).collect();
+            assert!(
+                !is_cds_fast(&g, &smaller) || smaller.is_empty() && g.num_nodes() == 0,
+                "node {v} still redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_vertex_set_prunes_substantially() {
+        let g = Graph::path(10);
+        let all: Vec<usize> = (0..10).collect();
+        let pruned = prune_cds(&g, &all).unwrap();
+        // Optimal CDS of P10 is the 8 interior nodes; pruning from V can
+        // only drop the two endpoints.
+        assert_eq!(pruned.len(), 8);
+    }
+
+    #[test]
+    fn invalid_input_is_rejected() {
+        let g = Graph::path(5);
+        assert!(prune_cds(&g, &[0, 4]).is_err());
+        assert!(pruning_savings(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn complete_graph_prunes_to_one() {
+        let g = Graph::complete(8);
+        let all: Vec<usize> = (0..8).collect();
+        assert_eq!(prune_cds(&g, &all).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn savings_reported() {
+        let g = Graph::complete(5);
+        let all: Vec<usize> = (0..5).collect();
+        assert_eq!(pruning_savings(&g, &all).unwrap(), 4);
+    }
+
+    #[test]
+    fn algorithm_outputs_rarely_shrink_much() {
+        // Pruning the paper's algorithms' outputs should stay valid; the
+        // savings are usually zero or tiny (their outputs are lean).
+        for g in [Graph::path(20), Graph::cycle(15)] {
+            let cds = greedy_cds(&g).unwrap();
+            let pruned = prune_cds(&g, cds.nodes()).unwrap();
+            assert!(properties::check_cds(&g, &pruned).is_ok());
+        }
+    }
+}

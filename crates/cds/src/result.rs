@@ -1,0 +1,123 @@
+//! The [`Cds`] result type.
+
+use mcds_graph::{node_set, properties, Graph};
+use std::fmt;
+
+/// A connected dominating set produced by a two-phased algorithm, keeping
+/// the phase structure visible: *dominators* (the phase-1 MIS or
+/// dominating set) and *connectors* (the phase-2 additions).
+///
+/// The node set is the disjoint union of the two roles; `Cds` normalizes
+/// and deduplicates on construction (a connector that is also a dominator
+/// is recorded once, as a dominator).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cds {
+    dominators: Vec<usize>,
+    connectors: Vec<usize>,
+    nodes: Vec<usize>,
+}
+
+impl Cds {
+    /// Assembles a result from the two phases.  Duplicates within and
+    /// across the role lists are removed (dominator role wins).
+    pub fn new(dominators: Vec<usize>, connectors: Vec<usize>) -> Self {
+        let dominators = node_set(dominators);
+        let connectors: Vec<usize> = node_set(connectors)
+            .into_iter()
+            .filter(|c| dominators.binary_search(c).is_err())
+            .collect();
+        let nodes = node_set(dominators.iter().chain(connectors.iter()).copied());
+        Cds {
+            dominators,
+            connectors,
+            nodes,
+        }
+    }
+
+    /// The phase-1 dominators (sorted).
+    pub fn dominators(&self) -> &[usize] {
+        &self.dominators
+    }
+
+    /// The phase-2 connectors (sorted, disjoint from the dominators).
+    pub fn connectors(&self) -> &[usize] {
+        &self.connectors
+    }
+
+    /// All CDS nodes (sorted).
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Total CDS size `|I ∪ C|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the CDS has no nodes (only valid for the empty
+    /// graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if `v` belongs to the CDS.
+    pub fn contains(&self, v: usize) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Verifies the result against `g` using the reference predicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property, as produced by
+    /// [`mcds_graph::properties::check_cds`].
+    pub fn verify(&self, g: &Graph) -> Result<(), String> {
+        properties::check_cds(g, &self.nodes)
+    }
+}
+
+impl fmt::Debug for Cds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cds(|I|={}, |C|={}, total={})",
+            self.dominators.len(),
+            self.connectors.len(),
+            self.nodes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_are_normalized_and_disjoint() {
+        let cds = Cds::new(vec![3, 1, 3], vec![2, 1, 5]);
+        assert_eq!(cds.dominators(), &[1, 3]);
+        assert_eq!(cds.connectors(), &[2, 5]); // 1 dropped: dominator wins
+        assert_eq!(cds.nodes(), &[1, 2, 3, 5]);
+        assert_eq!(cds.len(), 4);
+        assert!(cds.contains(5));
+        assert!(!cds.contains(4));
+        assert!(!cds.is_empty());
+    }
+
+    #[test]
+    fn verify_delegates_to_reference_checker() {
+        let g = Graph::path(5);
+        let good = Cds::new(vec![0, 2, 4], vec![1, 3]);
+        assert!(good.verify(&g).is_ok());
+        let bad = Cds::new(vec![0, 4], vec![]);
+        assert!(bad.verify(&g).is_err());
+    }
+
+    #[test]
+    fn debug_shows_phase_sizes() {
+        let cds = Cds::new(vec![0], vec![1]);
+        let s = format!("{cds:?}");
+        assert!(s.contains("|I|=1"));
+        assert!(s.contains("|C|=1"));
+    }
+}

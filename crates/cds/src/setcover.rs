@@ -1,0 +1,176 @@
+//! Baseline two-phased constructions: Chvátal set-cover dominators \[2\]
+//! and arbitrary-MIS dominators \[1\]/\[9\].
+
+use mcds_graph::{node_mask, Graph};
+use mcds_mis::variants;
+
+use crate::{connect, Cds, CdsError};
+
+/// Chvátal's greedy Set Cover applied to domination: repeatedly pick the
+/// node whose closed neighborhood covers the most still-uncovered nodes
+/// (ties toward smaller id).
+///
+/// This is phase 1 of the Das–Bharghavan style algorithm \[2\]; its
+/// approximation ratio for *domination* is `H(Δ+1)` (logarithmic), which
+/// is why the paper's constant-ratio MIS-based algorithms supersede it.
+///
+/// The result is a dominating set but generally neither independent nor
+/// connected.
+pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut covered = vec![false; n];
+    let mut remaining = n;
+    let mut ds = Vec::new();
+    while remaining > 0 {
+        let mut best = (0usize, usize::MAX); // (new coverage, node)
+        for v in 0..n {
+            let mut cover = usize::from(!covered[v]);
+            cover += g.neighbors_iter(v).filter(|&u| !covered[u]).count();
+            if cover > best.0 || (cover == best.0 && v < best.1) {
+                best = (cover, v);
+            }
+        }
+        let (gain, v) = best;
+        debug_assert!(gain > 0, "some node must cover something new");
+        ds.push(v);
+        if !covered[v] {
+            covered[v] = true;
+            remaining -= 1;
+        }
+        for u in g.neighbors_iter(v) {
+            if !covered[u] {
+                covered[u] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    ds.sort_unstable();
+    ds
+}
+
+/// The full Chvátal-based two-phase baseline: greedy set-cover dominators,
+/// then shortest-path connectors.
+///
+/// Set-cover dominators lack the 2-hop separation property (two dominator
+/// components can be 3 hops apart), so the phase-2 rule is
+/// [`connect::path_connectors`] rather than the paper's max-gain rule.
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+/// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
+pub fn chvatal_cds(g: &Graph) -> Result<Cds, CdsError> {
+    if g.num_nodes() == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let ds = chvatal_dominating_set(g);
+    let connectors = connect::path_connectors(g, &ds)?;
+    Ok(Cds::new(ds, connectors))
+}
+
+/// The arbitrary-MIS two-phase baseline of \[1\]/\[9\]: a lexicographic
+/// first-fit MIS (oblivious to the topology) connected by max-gain
+/// merges with a shortest-path fallback.
+///
+/// Unlike the paper's BFS-ordered MIS, an arbitrary MIS lacks the 2-hop
+/// separation property — its components can be 3 hops apart, where no
+/// single node merges two of them (e.g. `{0, 3, 5}` on a 6-path).  The
+/// connector rule is therefore [`connect::max_gain_then_paths`].  This
+/// structural difference is exactly the motivation for the special MIS
+/// in \[4\]/\[8\]/\[10\].
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+/// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
+pub fn arbitrary_mis_cds(g: &Graph) -> Result<Cds, CdsError> {
+    if g.num_nodes() == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let mis = variants::lexicographic_mis(g);
+    let connectors = connect::max_gain_then_paths(g, &mis)?;
+    Ok(Cds::new(mis, connectors))
+}
+
+/// Verifies the set-cover invariant used in tests: every node is covered
+/// by the returned set.
+#[allow(dead_code)]
+fn is_cover(g: &Graph, set: &[usize]) -> bool {
+    let mask = node_mask(g.num_nodes(), set);
+    (0..g.num_nodes()).all(|v| mask[v] || g.neighbors_iter(v).any(|u| mask[u]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_graph::properties;
+
+    #[test]
+    fn chvatal_ds_dominates() {
+        let graphs = [
+            Graph::path(11),
+            Graph::cycle(9),
+            Graph::star(7),
+            Graph::complete(5),
+            Graph::from_edges(6, [(0, 1), (2, 3), (4, 5)]), // disconnected is fine for DS
+        ];
+        for g in &graphs {
+            let ds = chvatal_dominating_set(g);
+            assert!(properties::is_dominating_set(g, &ds), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn chvatal_picks_hub_on_star() {
+        let g = Graph::star(20);
+        assert_eq!(chvatal_dominating_set(&g), vec![0]);
+        let cds = chvatal_cds(&g).unwrap();
+        assert_eq!(cds.nodes(), &[0]);
+    }
+
+    #[test]
+    fn chvatal_cds_is_valid() {
+        let graphs = [Graph::path(13), Graph::cycle(10), Graph::complete(4)];
+        for g in &graphs {
+            let cds = chvatal_cds(g).unwrap();
+            cds.verify(g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn arbitrary_mis_cds_is_valid() {
+        let graphs = [Graph::path(13), Graph::cycle(10), Graph::star(8)];
+        for g in &graphs {
+            let cds = arbitrary_mis_cds(g).unwrap();
+            cds.verify(g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+            assert!(properties::is_maximal_independent_set(g, cds.dominators()));
+        }
+    }
+
+    #[test]
+    fn baselines_error_on_bad_graphs() {
+        let empty = Graph::empty(0);
+        assert_eq!(chvatal_cds(&empty), Err(CdsError::EmptyGraph));
+        assert_eq!(arbitrary_mis_cds(&empty), Err(CdsError::EmptyGraph));
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(chvatal_cds(&split), Err(CdsError::DisconnectedGraph));
+        assert_eq!(arbitrary_mis_cds(&split), Err(CdsError::DisconnectedGraph));
+    }
+
+    #[test]
+    fn chvatal_handles_three_hop_dominator_gaps() {
+        // Path of 7: Chvátal picks nodes 1 and 5 (coverage 3 each), which
+        // are 4 hops apart -> needs the path connector fallback.
+        let g = Graph::path(7);
+        let ds = chvatal_dominating_set(&g);
+        let cds = chvatal_cds(&g).unwrap();
+        cds.verify(&g).unwrap();
+        assert!(cds.len() >= ds.len());
+    }
+}

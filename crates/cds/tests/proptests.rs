@@ -1,0 +1,156 @@
+//! Property-based tests for the CDS algorithms on *general* random
+//! graphs (not just UDGs): validity is topology-independent even though
+//! the ratio guarantees are UDG-specific.
+
+use mcds_cds::algorithms::Algorithm;
+use mcds_cds::{connect, greedy_cds_rooted, prune, waf_cds_rooted};
+use mcds_graph::{properties, traversal, Graph};
+use mcds_mis::BfsMis;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3))
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+/// Restricts to the largest component, which is connected by
+/// construction.
+fn giant(g: &Graph) -> Graph {
+    let comp = traversal::largest_component(g);
+    g.induced_subgraph(&comp).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_algorithms_valid_on_general_graphs(g0 in graph_strategy(26)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        for alg in Algorithm::ALL {
+            let cds = alg.run(&g).expect("connected by construction");
+            prop_assert!(cds.verify(&g).is_ok(), "{} invalid", alg);
+        }
+    }
+
+    #[test]
+    fn waf_connector_inequality(g0 in graph_strategy(26)) {
+        // |C| ≤ |I| − |I(s)| + 1 implies |CDS| ≤ 2|I| + 1 always; the
+        // stronger |CDS| ≤ 2|I| − 1 holds whenever |I(s)| ≥ 2.
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let cds = waf_cds_rooted(&g, 0).expect("connected");
+        let i = cds.dominators().len();
+        prop_assert!(cds.len() <= 2 * i + 1, "|CDS| {} > 2|I|+1 {}", cds.len(), 2 * i + 1);
+    }
+
+    #[test]
+    fn greedy_gains_positive_and_terminating(g0 in graph_strategy(26)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let mis = BfsMis::compute(&g, 0).mis().to_vec();
+        let seq = connect::max_gain_connectors(&g, &mis).expect("Lemma 9");
+        let trace = connect::gain_trace(&g, &mis, &seq);
+        prop_assert!(trace.iter().all(|&t| t >= 1));
+        let total: usize = trace.iter().sum();
+        prop_assert_eq!(total + 1, mis.len().max(1));
+        // Note: gains are NOT monotone across steps — a placed connector
+        // becomes a member that later candidates can touch, so a later
+        // step may out-gain the first.  The paper's Theorem-10 accounting
+        // uses component-count thresholds, not monotonicity.
+    }
+
+    #[test]
+    fn greedy_connectors_never_exceed_mis_minus_one(g0 in graph_strategy(26)) {
+        // Each connector has gain ≥ 1 and the component count starts at
+        // |I|, so |C| ≤ |I| − 1.
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let cds = greedy_cds_rooted(&g, 0).expect("connected");
+        prop_assert!(cds.connectors().len() <= cds.dominators().len().saturating_sub(1));
+    }
+
+    #[test]
+    fn pruning_is_idempotent(g0 in graph_strategy(22)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let cds = greedy_cds_rooted(&g, 0).expect("connected");
+        let once = prune::prune_cds(&g, cds.nodes()).expect("valid");
+        let twice = prune::prune_cds(&g, &once).expect("still valid");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn path_connectors_work_for_any_dominating_seed(g0 in graph_strategy(22), pick in proptest::collection::vec(any::<bool>(), 22)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        // Build an arbitrary dominating set: chosen bits plus greedy fill.
+        let mut seed: Vec<usize> = (0..g.num_nodes()).filter(|&v| pick[v]).collect();
+        let mut mask = mcds_graph::node_mask(g.num_nodes(), &seed);
+        for v in 0..g.num_nodes() {
+            let dominated = mask[v] || g.neighbors_iter(v).any(|u| mask[u]);
+            if !dominated {
+                mask[v] = true;
+                seed.push(v);
+            }
+        }
+        prop_assert!(properties::is_dominating_set(&g, &seed));
+        let conn = connect::path_connectors(&g, &seed).expect("connected graph");
+        let mut all = seed.clone();
+        all.extend(conn);
+        prop_assert!(properties::is_connected_dominating_set(&g, &all));
+    }
+
+    #[test]
+    fn routing_over_cds_reaches_every_pair(g0 in graph_strategy(20)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let cds = greedy_cds_rooted(&g, 0).expect("connected");
+        let stats = mcds_cds::routing::stretch_stats(&g, cds.nodes())
+            .expect("a CDS routes every pair");
+        prop_assert_eq!(stats.pairs, g.num_nodes() * (g.num_nodes() - 1));
+        prop_assert!(stats.mean >= 1.0 - 1e-12);
+        prop_assert!(stats.max + 1e-12 >= stats.mean);
+        // Full-vertex backbone has stretch exactly 1.
+        let all: Vec<usize> = (0..g.num_nodes()).collect();
+        let full = mcds_cds::routing::stretch_stats(&g, &all).expect("full set");
+        prop_assert!((full.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_length_consistent_with_stretch(g0 in graph_strategy(16)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 3);
+        let cds = greedy_cds_rooted(&g, 0).expect("connected");
+        // Spot-check: per-pair route length is at least the true distance.
+        for s in 0..g.num_nodes().min(4) {
+            let true_d = mcds_graph::traversal::bfs_distances(&g, s);
+            for (t, &td) in true_d.iter().enumerate() {
+                if t == s { continue; }
+                let r = mcds_cds::routing::backbone_route_length(&g, cds.nodes(), s, t)
+                    .expect("CDS routes everything");
+                prop_assert!(r >= td, "route shorter than shortest path?!");
+            }
+        }
+    }
+
+    #[test]
+    fn max_gain_then_paths_total(g0 in graph_strategy(22), pick in proptest::collection::vec(any::<bool>(), 22)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let mut seed: Vec<usize> = (0..g.num_nodes()).filter(|&v| pick[v]).collect();
+        let mut mask = mcds_graph::node_mask(g.num_nodes(), &seed);
+        for v in 0..g.num_nodes() {
+            if !(mask[v] || g.neighbors_iter(v).any(|u| mask[u])) {
+                mask[v] = true;
+                seed.push(v);
+            }
+        }
+        let conn = connect::max_gain_then_paths(&g, &seed).expect("connected graph");
+        let mut all = seed.clone();
+        all.extend(conn);
+        prop_assert!(properties::is_connected_dominating_set(&g, &all));
+    }
+}

@@ -1,0 +1,111 @@
+//! Tiny flag parser shared by the subcommands.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed arguments: positionals in order, `--flag value` pairs, and
+/// boolean `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`, treating flags in `value_flags` as taking one value
+    /// and flags in `switch_flags` as boolean.
+    pub fn parse(
+        argv: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Self, CliError> {
+        let mut out = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                    out.values.insert(name.to_string(), v.clone());
+                } else if switch_flags.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    return Err(CliError::Usage(format!("unknown flag --{name}")));
+                }
+            } else if a == "-o" {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("-o needs a file".to_string()))?;
+                out.values.insert("o".to_string(), v.clone());
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The n-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(|s| s.as_str())
+    }
+
+    /// Value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Value of `--name` parsed as `T`, or `default`.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Whether `--name` was given as a switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed_args() {
+        let a = Args::parse(
+            &sv(&["file.udg", "--n", "10", "--connected", "-o", "out"]),
+            &["n"],
+            &["connected"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("file.udg"));
+        assert_eq!(a.value("n"), Some("10"));
+        assert_eq!(a.parsed_or("n", 0usize).unwrap(), 10);
+        assert!(a.switch("connected"));
+        assert_eq!(a.value("o"), Some("out"));
+        assert_eq!(a.parsed_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_dangling() {
+        assert!(Args::parse(&sv(&["--wat"]), &[], &[]).is_err());
+        assert!(Args::parse(&sv(&["--n"]), &["n"], &[]).is_err());
+        assert!(Args::parse(&sv(&["-o"]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_usage_error() {
+        let a = Args::parse(&sv(&["--n", "xyz"]), &["n"], &[]).unwrap();
+        assert!(a.parsed_or::<usize>("n", 0).is_err());
+    }
+}

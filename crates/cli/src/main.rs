@@ -1,0 +1,108 @@
+//! `mcds-cli` — command-line interface to the mcds toolkit.
+//!
+//! ```text
+//! mcds-cli gen    --n 200 --side 8 [--seed S] [--kind uniform|clustered|grid|chain]
+//!                 [--connected] -o inst.udg
+//! mcds-cli stats  inst.udg
+//! mcds-cli solve  inst.udg [--alg greedy|waf|chvatal|arb-mis|all] [--prune]
+//!                 [--dot out.dot]
+//! mcds-cli exact  inst.udg [--budget STEPS]
+//! mcds-cli verify inst.udg --nodes 1,5,9
+//! mcds-cli dist   inst.udg
+//! mcds-cli construct chain --n 8 -o chain.udg
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 runtime failure (bad instance,
+//! disconnected graph, exhausted budget, invalid CDS).
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    // Writing to a closed pipe (`mcds-cli analyze f | head`) makes
+    // println! panic because Rust ignores SIGPIPE; exit quietly like a
+    // conventional Unix tool instead of dumping a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        let is_broken_pipe = message.is_some_and(|m| m.contains("Broken pipe"));
+        if is_broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", USAGE);
+            ExitCode::from(1)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mcds-cli gen    --n N --side S [--seed SEED] [--kind uniform|clustered|grid|chain]
+                  [--connected] -o FILE
+  mcds-cli stats  FILE
+  mcds-cli solve  FILE [--alg greedy|waf|chvatal|arb-mis|gk-grow|all] [--prune]
+                  [--dot FILE] [--svg FILE]
+  mcds-cli exact  FILE [--budget STEPS]
+  mcds-cli verify FILE --nodes a,b,c
+  mcds-cli dist   FILE
+  mcds-cli construct two-star|three-star|chain [--n N] [--eps E] [-o FILE]
+  mcds-cli analyze FILE
+  mcds-cli route  FILE --from A --to B [--alg NAME]
+  mcds-cli broadcast FILE [--source S] [--alg NAME]";
+
+/// CLI error split by exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (exit 1).
+    Usage(String),
+    /// Valid command line that failed at runtime (exit 2).
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError::usage("missing subcommand"));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "gen" => commands::gen(rest),
+        "stats" => commands::stats(rest),
+        "solve" => commands::solve(rest),
+        "exact" => commands::exact(rest),
+        "verify" => commands::verify(rest),
+        "dist" => commands::dist(rest),
+        "construct" => commands::construct(rest),
+        "analyze" => commands::analyze(rest),
+        "route" => commands::route(rest),
+        "broadcast" => commands::broadcast(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
+    }
+}

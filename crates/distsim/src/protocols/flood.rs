@@ -1,0 +1,213 @@
+//! Leader election and BFS-tree construction by min-id flooding.
+//!
+//! Every node repeatedly announces the best `(root, distance)` pair it
+//! knows; at quiescence all nodes agree on the minimum-id node as root,
+//! know their hop distance to it (their BFS *level*) and their canonical
+//! parent (minimum-id neighbor one level up — matching
+//! [`mcds_graph::traversal::BfsTree`]).  Converges in `O(diam)` rounds
+//! with `O(n · diam)` transmissions in the worst case, and is
+//! delay-tolerant (correct under the simulator's asynchrony mode).
+
+use std::collections::HashMap;
+
+use crate::{Node, NodeCtx, Outgoing};
+
+/// Per-node state of the flooding protocol.
+///
+/// ```
+/// use mcds_distsim::{protocols::FloodBfs, Simulator};
+/// use mcds_graph::Graph;
+///
+/// let g = Graph::path(5);
+/// let mut nodes: Vec<FloodBfs> = (0..5).map(|_| FloodBfs::new()).collect();
+/// Simulator::new().run(&g, &mut nodes)?;
+/// let r = nodes[4].result();
+/// assert_eq!((r.root, r.level, r.parent), (0, 4, Some(3)));
+/// # Ok::<(), mcds_distsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FloodBfs {
+    /// Best known `(root, dist)` for each neighbor that has announced.
+    heard: HashMap<usize, (usize, u64)>,
+    /// This node's current best `(root, dist)`.
+    best: Option<(usize, u64)>,
+}
+
+/// Extracted result of a flooding run, for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodResult {
+    /// The elected root (globally the minimum node id).
+    pub root: usize,
+    /// Hop distance from the root (the BFS level).
+    pub level: u64,
+    /// Canonical parent: minimum-id neighbor one level up (`None` at the
+    /// root).
+    pub parent: Option<usize>,
+}
+
+impl FloodBfs {
+    /// Fresh pre-run state.
+    pub fn new() -> Self {
+        FloodBfs::default()
+    }
+
+    /// Reads this node's converged result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a simulation ran (no best value yet).
+    pub fn result(&self) -> FloodResult {
+        let (root, level) = self.best.expect("flooding has not run");
+        let parent = self
+            .heard
+            .iter()
+            .filter(|&(_, &(r, d))| r == root && d + 1 == level)
+            .map(|(&nb, _)| nb)
+            .min();
+        FloodResult {
+            root,
+            level,
+            parent,
+        }
+    }
+
+    /// Recomputes the best pair from own id and everything heard;
+    /// returns `true` if it changed.
+    fn refresh(&mut self, my_id: usize) -> bool {
+        let mut cand = (my_id, 0u64);
+        for (&_nb, &(r, d)) in &self.heard {
+            let via = (r, d + 1);
+            if via < cand {
+                cand = via;
+            }
+        }
+        if self.best != Some(cand) {
+            self.best = Some(cand);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Node for FloodBfs {
+    type Msg = (usize, u64);
+
+    fn on_init(&mut self, ctx: &NodeCtx<'_>) -> Vec<Outgoing<Self::Msg>> {
+        self.best = Some((ctx.id, 0));
+        vec![Outgoing::Broadcast((ctx.id, 0))]
+    }
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        inbox: &[(usize, Self::Msg)],
+        ctx: &NodeCtx<'_>,
+    ) -> Vec<Outgoing<Self::Msg>> {
+        for &(from, (r, d)) in inbox {
+            let entry = self.heard.entry(from).or_insert((r, d));
+            if (r, d) < *entry {
+                *entry = (r, d);
+            }
+        }
+        if self.refresh(ctx.id) {
+            vec![Outgoing::Broadcast(self.best.expect("set by refresh"))]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use mcds_graph::{traversal::BfsTree, Graph};
+
+    fn run_flood(g: &Graph) -> (Vec<FloodResult>, crate::SimStats) {
+        let mut nodes: Vec<FloodBfs> = (0..g.num_nodes()).map(|_| FloodBfs::new()).collect();
+        let stats = Simulator::new().run(g, &mut nodes).unwrap();
+        (nodes.iter().map(|n| n.result()).collect(), stats)
+    }
+
+    #[test]
+    fn agrees_with_centralized_bfs_tree() {
+        let graphs = [
+            Graph::path(12),
+            Graph::cycle(9),
+            Graph::star(7),
+            Graph::complete(6),
+            Graph::from_edges(
+                8,
+                [
+                    (0, 3),
+                    (3, 5),
+                    (5, 1),
+                    (1, 7),
+                    (7, 2),
+                    (2, 4),
+                    (4, 6),
+                    (6, 0),
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let (results, _) = run_flood(g);
+            let tree = BfsTree::rooted_at(g, 0);
+            for (v, r) in results.iter().enumerate() {
+                assert_eq!(r.root, 0, "{g:?} node {v}");
+                assert_eq!(r.level, tree.level(v).unwrap() as u64, "{g:?} node {v}");
+                assert_eq!(r.parent, tree.parent(v), "{g:?} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_in_about_diameter_rounds() {
+        let g = Graph::path(20);
+        let (_, stats) = run_flood(&g);
+        // Information from node 0 needs 19 hops; one extra quiescence
+        // round is allowed.
+        assert!(stats.rounds <= 21, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn delay_tolerant() {
+        let g = Graph::cycle(11);
+        let tree = BfsTree::rooted_at(&g, 0);
+        for seed in [5u64, 17, 99] {
+            let mut nodes: Vec<FloodBfs> = (0..11).map(|_| FloodBfs::new()).collect();
+            Simulator::new().delay(3, seed).run(&g, &mut nodes).unwrap();
+            for (v, node) in nodes.iter().enumerate() {
+                let r = node.result();
+                assert_eq!(r.root, 0, "seed {seed}");
+                assert_eq!(r.level, tree.level(v).unwrap() as u64, "seed {seed}");
+                assert_eq!(r.parent, tree.parent(v), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_network() {
+        let g = Graph::empty(1);
+        let (results, stats) = run_flood(&g);
+        assert_eq!(
+            results[0],
+            FloodResult {
+                root: 0,
+                level: 0,
+                parent: None
+            }
+        );
+        // The lone broadcast reaches nobody; one transmission, no rounds
+        // of delivery.
+        assert_eq!(stats.transmissions, 1);
+        assert_eq!(stats.receptions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not run")]
+    fn result_before_run_panics() {
+        let _ = FloodBfs::new().result();
+    }
+}

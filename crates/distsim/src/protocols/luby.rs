@@ -1,0 +1,232 @@
+//! Luby's randomized distributed MIS.
+//!
+//! The classic alternative to the paper's rank-based election: in each
+//! phase, every undecided node draws a random priority and joins the MIS
+//! iff its priority beats all undecided neighbors'; neighbors of joiners
+//! drop out.  Terminates in `O(log n)` phases with high probability —
+//! *independent of the diameter* — at the cost of needing randomness and
+//! producing an arbitrary (not 2-hop-separated-by-construction) MIS.
+//!
+//! Including it lets E7-style experiments contrast the two election
+//! styles: rank-based (deterministic, equals the centralized first-fit,
+//! `O(diam)` worst case) versus Luby (randomized, `O(log n)` phases).
+//!
+//! Each phase costs three rounds in this realization: (1) priorities are
+//! exchanged, (2) joiners announce, (3) droppers announce — the protocol
+//! relies on the shared round counter, so it is synchronous-only.
+
+use crate::{Node, NodeCtx, Outgoing};
+
+/// Protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// This phase's priority draw of an undecided node.
+    Priority(u64),
+    /// "I joined the MIS."
+    Joined,
+    /// "I am dominated" (dropped out).
+    Dropped,
+}
+
+/// Per-node state of Luby's algorithm.
+///
+/// Randomness is drawn from a per-node deterministic xorshift stream
+/// seeded by `(seed, id)`, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct LubyMis {
+    rng: u64,
+    decision: Option<bool>,
+    my_priority: u64,
+    undecided_neighbors: usize,
+    best_neighbor_priority: Option<u64>,
+    phases: u64,
+}
+
+impl LubyMis {
+    /// Creates the state for one node.
+    pub fn new(seed: u64, id: usize) -> Self {
+        let mix = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id as u64 + 1)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        LubyMis {
+            rng: mix.max(1),
+            decision: None,
+            my_priority: 0,
+            undecided_neighbors: 0,
+            best_neighbor_priority: None,
+            phases: 0,
+        }
+    }
+
+    fn draw(&mut self, id: usize) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        // Tie-break by id so priorities are distinct across neighbors.
+        (self.rng << 20) | id as u64
+    }
+
+    /// `Some(true)` = in MIS, `Some(false)` = dominated, `None` =
+    /// undecided (protocol incomplete).
+    pub fn in_mis(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// Number of priority phases this node participated in.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+}
+
+impl Node for LubyMis {
+    type Msg = LubyMsg;
+
+    fn on_init(&mut self, ctx: &NodeCtx<'_>) -> Vec<Outgoing<LubyMsg>> {
+        self.undecided_neighbors = ctx.neighbors.len();
+        if self.undecided_neighbors == 0 {
+            // Isolated node: trivially in the MIS, nothing to send.
+            self.decision = Some(true);
+            return Vec::new();
+        }
+        self.my_priority = self.draw(ctx.id);
+        self.phases = 1;
+        vec![Outgoing::Broadcast(LubyMsg::Priority(self.my_priority))]
+    }
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        inbox: &[(usize, LubyMsg)],
+        ctx: &NodeCtx<'_>,
+    ) -> Vec<Outgoing<LubyMsg>> {
+        for &(_, msg) in inbox {
+            match msg {
+                LubyMsg::Priority(p) => {
+                    let best = self.best_neighbor_priority.unwrap_or(0);
+                    if p > best {
+                        self.best_neighbor_priority = Some(p);
+                    }
+                }
+                LubyMsg::Joined => {
+                    if self.decision.is_none() {
+                        self.decision = Some(false);
+                    }
+                    self.undecided_neighbors -= 1;
+                }
+                LubyMsg::Dropped => {
+                    self.undecided_neighbors -= 1;
+                }
+            }
+        }
+        // The 3-round phase schedule, shared via the global round counter:
+        // round ≡ 0 (mod 3): priorities were delivered -> decide joins;
+        // round ≡ 1 (mod 3): joins were delivered -> decide drops;
+        // round ≡ 2 (mod 3): drops were delivered -> draw next priorities.
+        match round % 3 {
+            0 => {
+                if self.decision.is_none() {
+                    let beaten = self
+                        .best_neighbor_priority
+                        .is_some_and(|b| b > self.my_priority);
+                    if !beaten {
+                        self.decision = Some(true);
+                        return vec![Outgoing::Broadcast(LubyMsg::Joined)];
+                    }
+                }
+                Vec::new()
+            }
+            1 => {
+                if self.decision == Some(false) && self.phases > 0 {
+                    // Announce the drop exactly once.
+                    self.phases = 0;
+                    return vec![Outgoing::Broadcast(LubyMsg::Dropped)];
+                }
+                Vec::new()
+            }
+            _ => {
+                self.best_neighbor_priority = None;
+                if self.decision.is_none() {
+                    if self.undecided_neighbors == 0 {
+                        // All neighbors decided (necessarily dropped or
+                        // joined elsewhere); no joined neighbor reached us,
+                        // so we join.
+                        self.decision = Some(true);
+                        return vec![Outgoing::Broadcast(LubyMsg::Joined)];
+                    }
+                    self.my_priority = self.draw(ctx.id);
+                    self.phases += 1;
+                    return vec![Outgoing::Broadcast(LubyMsg::Priority(self.my_priority))];
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use mcds_graph::{properties, Graph};
+
+    fn run_luby(g: &Graph, seed: u64) -> (Vec<usize>, crate::SimStats) {
+        let mut nodes: Vec<LubyMis> = (0..g.num_nodes()).map(|v| LubyMis::new(seed, v)).collect();
+        let stats = Simulator::new().run(g, &mut nodes).unwrap();
+        assert!(
+            nodes.iter().all(|n| n.in_mis().is_some()),
+            "everyone must decide"
+        );
+        let mis = (0..g.num_nodes())
+            .filter(|&v| nodes[v].in_mis() == Some(true))
+            .collect();
+        (mis, stats)
+    }
+
+    #[test]
+    fn produces_valid_mis_on_families() {
+        for g in [
+            Graph::path(15),
+            Graph::cycle(12),
+            Graph::star(9),
+            Graph::complete(7),
+            Graph::empty(5),
+        ] {
+            for seed in [1u64, 7, 42] {
+                let (mis, _) = run_luby(&g, seed);
+                assert!(
+                    properties::is_maximal_independent_set(&g, &mis),
+                    "{g:?} seed {seed}: {mis:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let g = Graph::cycle(15);
+        let outcomes: std::collections::BTreeSet<Vec<usize>> =
+            (0..8).map(|s| run_luby(&g, s).0).collect();
+        assert!(outcomes.len() > 1, "randomization should vary the MIS");
+    }
+
+    #[test]
+    fn phases_grow_slowly() {
+        // O(log n) phases w.h.p.: on a 200-node path, a handful of phases
+        // suffices (each phase = 3 rounds).
+        let g = Graph::path(200);
+        let (_, stats) = run_luby(&g, 9);
+        assert!(
+            stats.rounds <= 40,
+            "rounds {} suggest far more than O(log n) phases",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_join_immediately() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let (mis, _) = run_luby(&g, 5);
+        assert!(mis.contains(&2));
+    }
+}

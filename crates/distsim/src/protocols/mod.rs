@@ -1,0 +1,15 @@
+//! The distributed protocols realizing the paper's pipeline.
+
+mod broadcast;
+mod flood;
+mod luby;
+mod mis;
+mod verify;
+mod waf;
+
+pub use broadcast::{run_broadcast, BroadcastOutcome, RelayBroadcast};
+pub use flood::{FloodBfs, FloodResult};
+pub use luby::{LubyMis, LubyMsg};
+pub use mis::{MisElection, MisMsg, Rank};
+pub use verify::{run_verify_cds, VerifyCds, VerifyMsg, VerifyReport};
+pub use waf::{WafConnectors, WafMsg};

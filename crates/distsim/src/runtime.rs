@@ -1,0 +1,453 @@
+//! The synchronous round-driven runtime.
+
+use mcds_graph::Graph;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A message leaving a node: a wireless local broadcast (one transmission
+/// heard by every neighbor) or a unicast to a specific neighbor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outgoing<M> {
+    /// One transmission delivered to all neighbors.
+    Broadcast(M),
+    /// One transmission delivered to the named neighbor.
+    ///
+    /// The destination must be a neighbor in the topology — radios only
+    /// reach adjacent nodes.
+    Unicast(usize, M),
+}
+
+/// Read-only per-node context handed to protocol callbacks.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's identifier (graph index).
+    pub id: usize,
+    /// Sorted neighbor ids.
+    pub neighbors: &'a [u32],
+    /// Total number of nodes in the network (known in the synchronous
+    /// model; protocols that shouldn't rely on it simply don't).
+    pub n: usize,
+}
+
+impl NodeCtx<'_> {
+    /// Returns `true` if `other` is a neighbor.
+    pub fn is_neighbor(&self, other: usize) -> bool {
+        self.neighbors.binary_search(&(other as u32)).is_ok()
+    }
+}
+
+/// A protocol's per-node state machine.
+///
+/// The simulator calls [`Node::on_init`] once before round 0, then
+/// [`Node::on_round`] every round — for *every* node, even with an empty
+/// inbox, as long as any message is still in flight (the synchronous
+/// model: nodes share a round counter).  Execution stops at global
+/// quiescence (no messages in flight) or at the round cap.
+pub trait Node {
+    /// Message payload exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called once before the first round; returns initial transmissions.
+    fn on_init(&mut self, ctx: &NodeCtx<'_>) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Called every round with the messages delivered this round, each
+    /// tagged with its sender.
+    fn on_round(
+        &mut self,
+        round: u64,
+        inbox: &[(usize, Self::Msg)],
+        ctx: &NodeCtx<'_>,
+    ) -> Vec<Outgoing<Self::Msg>>;
+}
+
+/// Execution statistics of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Rounds executed (0 if the protocol quiesced at init).
+    pub rounds: u64,
+    /// Radio transmissions (each broadcast or unicast counts once).
+    pub transmissions: u64,
+    /// Message receptions (a broadcast heard by `k` neighbors counts `k`).
+    pub receptions: u64,
+    /// The busiest single radio: maximum transmissions by any one node.
+    ///
+    /// Energy in sensor networks is a per-node budget, so protocols are
+    /// judged on their *hotspots*, not just totals.
+    pub max_node_transmissions: u64,
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol was still sending messages at the round cap.
+    RoundLimitExceeded {
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A node unicast to a non-neighbor (a protocol bug).
+    UnicastToNonNeighbor {
+        /// The sender.
+        from: usize,
+        /// The invalid destination.
+        to: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+            SimError::UnicastToNonNeighbor { from, to } => {
+                write!(f, "node {from} unicast to non-neighbor {to}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The synchronous simulator.
+///
+/// Non-consuming builder: configure with [`Simulator::round_limit`] /
+/// [`Simulator::delay`], then call [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    round_limit: u64,
+    max_delay: u64,
+    delay_seed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+impl Simulator {
+    /// A synchronous simulator with a round cap of 1,000,000 and no
+    /// artificial delays.
+    pub fn new() -> Self {
+        Simulator {
+            round_limit: 1_000_000,
+            max_delay: 1,
+            delay_seed: 0,
+        }
+    }
+
+    /// Caps the number of rounds (protects against non-quiescing
+    /// protocols).
+    pub fn round_limit(&mut self, limit: u64) -> &mut Self {
+        self.round_limit = limit;
+        self
+    }
+
+    /// Enables deterministic pseudo-random message delays in
+    /// `1..=max_delay` rounds, keyed by `seed` — an asynchrony stress
+    /// test for delay-tolerant protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay == 0`.
+    pub fn delay(&mut self, max_delay: u64, seed: u64) -> &mut Self {
+        assert!(max_delay >= 1, "max_delay must be at least 1");
+        self.max_delay = max_delay;
+        self.delay_seed = seed;
+        self
+    }
+
+    /// Runs `nodes` over the topology `g` until global quiescence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::RoundLimitExceeded`] if messages are still in flight
+    ///   at the cap,
+    /// * [`SimError::UnicastToNonNeighbor`] if a protocol misaddresses a
+    ///   unicast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != g.num_nodes()`.
+    pub fn run<N: Node>(&self, g: &Graph, nodes: &mut [N]) -> Result<SimStats, SimError> {
+        assert_eq!(
+            nodes.len(),
+            g.num_nodes(),
+            "need exactly one protocol state per graph node"
+        );
+        type Queues<M> = Vec<VecDeque<Vec<(usize, M)>>>;
+        let n = g.num_nodes();
+        let mut stats = SimStats::default();
+        let mut node_tx = vec![0u64; n];
+        // Per-destination delivery queues indexed by arrival round offset.
+        let mut in_flight: u64 = 0;
+        let mut queues: Queues<N::Msg> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut rng = self.delay_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next_delay = move || -> u64 {
+            if self.max_delay == 1 {
+                1
+            } else {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                1 + rng % self.max_delay
+            }
+        };
+
+        let deliver = |queues: &mut Queues<N::Msg>,
+                       in_flight: &mut u64,
+                       from: usize,
+                       to: usize,
+                       msg: N::Msg,
+                       delay: u64| {
+            let q = &mut queues[to];
+            let slot = (delay - 1) as usize;
+            while q.len() <= slot {
+                q.push_back(Vec::new());
+            }
+            q[slot].push((from, msg));
+            *in_flight += 1;
+        };
+
+        // Init.
+        for v in 0..n {
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                n,
+            };
+            let out = nodes[v].on_init(&ctx);
+            for o in out {
+                stats.transmissions += 1;
+                node_tx[v] += 1;
+                match o {
+                    Outgoing::Broadcast(m) => {
+                        let d = next_delay();
+                        for u in g.neighbors_iter(v) {
+                            deliver(&mut queues, &mut in_flight, v, u, m.clone(), d);
+                        }
+                    }
+                    Outgoing::Unicast(to, m) => {
+                        if !g.has_edge(v, to) {
+                            return Err(SimError::UnicastToNonNeighbor { from: v, to });
+                        }
+                        deliver(&mut queues, &mut in_flight, v, to, m, next_delay());
+                    }
+                }
+            }
+        }
+
+        let mut round: u64 = 0;
+        while in_flight > 0 {
+            if round >= self.round_limit {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.round_limit,
+                });
+            }
+            // Pop this round's inbox for every node first (synchronous
+            // delivery), then run the callbacks.
+            let mut inboxes: Vec<Vec<(usize, N::Msg)>> = Vec::with_capacity(n);
+            for q in queues.iter_mut() {
+                let batch = q.pop_front().unwrap_or_default();
+                in_flight -= batch.len() as u64;
+                stats.receptions += batch.len() as u64;
+                inboxes.push(batch);
+            }
+            for v in 0..n {
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    n,
+                };
+                let out = nodes[v].on_round(round, &inboxes[v], &ctx);
+                for o in out {
+                    stats.transmissions += 1;
+                    node_tx[v] += 1;
+                    match o {
+                        Outgoing::Broadcast(m) => {
+                            let d = next_delay();
+                            for u in g.neighbors_iter(v) {
+                                deliver(&mut queues, &mut in_flight, v, u, m.clone(), d);
+                            }
+                        }
+                        Outgoing::Unicast(to, m) => {
+                            if !g.has_edge(v, to) {
+                                return Err(SimError::UnicastToNonNeighbor { from: v, to });
+                            }
+                            deliver(&mut queues, &mut in_flight, v, to, m, next_delay());
+                        }
+                    }
+                }
+            }
+            round += 1;
+            stats.rounds = round;
+        }
+        stats.max_node_transmissions = node_tx.iter().copied().max().unwrap_or(0);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: every node broadcasts its id once at init, then each
+    /// node records the smallest id it has heard and re-broadcasts when it
+    /// improves — min-id flooding.
+    struct MinFlood {
+        best: usize,
+    }
+
+    impl Node for MinFlood {
+        type Msg = usize;
+        fn on_init(&mut self, ctx: &NodeCtx<'_>) -> Vec<Outgoing<usize>> {
+            self.best = ctx.id;
+            vec![Outgoing::Broadcast(ctx.id)]
+        }
+        fn on_round(
+            &mut self,
+            _round: u64,
+            inbox: &[(usize, usize)],
+            _ctx: &NodeCtx<'_>,
+        ) -> Vec<Outgoing<usize>> {
+            let incoming = inbox.iter().map(|&(_, m)| m).min();
+            match incoming {
+                Some(m) if m < self.best => {
+                    self.best = m;
+                    vec![Outgoing::Broadcast(m)]
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_in_diameter_rounds() {
+        let g = Graph::path(10);
+        let mut nodes: Vec<MinFlood> = (0..10).map(|_| MinFlood { best: usize::MAX }).collect();
+        let stats = Simulator::new().run(&g, &mut nodes).unwrap();
+        assert!(nodes.iter().all(|s| s.best == 0));
+        // Path diameter 9: information from node 0 needs 9 hops; allow
+        // the quiescence round.
+        assert!(stats.rounds <= 10, "rounds = {}", stats.rounds);
+        assert!(stats.transmissions >= 10); // at least the init broadcasts
+    }
+
+    #[test]
+    fn broadcast_counts_one_transmission_many_receptions() {
+        let g = Graph::star(5);
+        let mut nodes: Vec<MinFlood> = (0..5).map(|_| MinFlood { best: usize::MAX }).collect();
+        let stats = Simulator::new().run(&g, &mut nodes).unwrap();
+        // Init: 5 broadcasts; hub's broadcast is heard 4 times, each leaf's
+        // once -> 8 receptions at round 0; node 0's value propagates.
+        assert!(stats.transmissions >= 5);
+        assert!(stats.receptions > stats.transmissions);
+        assert!(nodes.iter().all(|s| s.best == 0));
+    }
+
+    #[test]
+    fn delays_do_not_change_flood_outcome() {
+        let g = Graph::cycle(9);
+        for seed in [1u64, 2, 3] {
+            let mut nodes: Vec<MinFlood> = (0..9).map(|_| MinFlood { best: usize::MAX }).collect();
+            let stats = Simulator::new().delay(4, seed).run(&g, &mut nodes).unwrap();
+            assert!(nodes.iter().all(|s| s.best == 0), "seed {seed}");
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        /// A protocol that ping-pongs forever.
+        struct Chatter;
+        impl Node for Chatter {
+            type Msg = ();
+            fn on_init(&mut self, _ctx: &NodeCtx<'_>) -> Vec<Outgoing<()>> {
+                vec![Outgoing::Broadcast(())]
+            }
+            fn on_round(
+                &mut self,
+                _round: u64,
+                inbox: &[(usize, ())],
+                _ctx: &NodeCtx<'_>,
+            ) -> Vec<Outgoing<()>> {
+                if inbox.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Outgoing::Broadcast(())]
+                }
+            }
+        }
+        let g = Graph::path(2);
+        let mut nodes = vec![Chatter, Chatter];
+        let err = Simulator::new()
+            .round_limit(50)
+            .run(&g, &mut nodes)
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn misaddressed_unicast_is_detected() {
+        struct BadSender;
+        impl Node for BadSender {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &NodeCtx<'_>) -> Vec<Outgoing<()>> {
+                if ctx.id == 0 {
+                    vec![Outgoing::Unicast(2, ())] // 2 is not a neighbor of 0
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(
+                &mut self,
+                _round: u64,
+                _inbox: &[(usize, ())],
+                _ctx: &NodeCtx<'_>,
+            ) -> Vec<Outgoing<()>> {
+                Vec::new()
+            }
+        }
+        let g = Graph::path(3); // 0-1-2
+        let mut nodes = vec![BadSender, BadSender, BadSender];
+        let err = Simulator::new().run(&g, &mut nodes).unwrap_err();
+        assert_eq!(err, SimError::UnicastToNonNeighbor { from: 0, to: 2 });
+    }
+
+    #[test]
+    fn quiescent_protocol_runs_zero_rounds() {
+        struct Silent;
+        impl Node for Silent {
+            type Msg = ();
+            fn on_init(&mut self, _ctx: &NodeCtx<'_>) -> Vec<Outgoing<()>> {
+                Vec::new()
+            }
+            fn on_round(
+                &mut self,
+                _round: u64,
+                _inbox: &[(usize, ())],
+                _ctx: &NodeCtx<'_>,
+            ) -> Vec<Outgoing<()>> {
+                Vec::new()
+            }
+        }
+        let g = Graph::path(4);
+        let mut nodes = vec![Silent, Silent, Silent, Silent];
+        let stats = Simulator::new().run(&g, &mut nodes).unwrap();
+        assert_eq!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn ctx_neighbor_check() {
+        let g = Graph::path(3);
+        let ctx = NodeCtx {
+            id: 1,
+            neighbors: g.neighbors(1),
+            n: 3,
+        };
+        assert!(ctx.is_neighbor(0));
+        assert!(ctx.is_neighbor(2));
+        assert!(!ctx.is_neighbor(1));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests: the distributed protocols equal their
+//! centralized counterparts on arbitrary connected graphs, with and
+//! without message delays (where the protocol tolerates them).
+
+use mcds_distsim::pipeline::run_waf_distributed;
+use mcds_distsim::protocols::{FloodBfs, MisElection};
+use mcds_distsim::Simulator;
+use mcds_graph::{traversal, Graph};
+use mcds_mis::BfsMis;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3))
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+fn giant(g: &Graph) -> Graph {
+    let comp = traversal::largest_component(g);
+    g.induced_subgraph(&comp).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flooding_builds_the_canonical_tree(g0 in graph_strategy(20), delay_seed in 0u64..100) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let tree = traversal::BfsTree::rooted_at(&g, 0);
+        for max_delay in [1u64, 3] {
+            let mut nodes: Vec<FloodBfs> =
+                (0..g.num_nodes()).map(|_| FloodBfs::new()).collect();
+            Simulator::new()
+                .delay(max_delay, delay_seed)
+                .run(&g, &mut nodes)
+                .expect("flooding quiesces");
+            for (v, node) in nodes.iter().enumerate() {
+                let r = node.result();
+                prop_assert_eq!(r.root, 0);
+                prop_assert_eq!(r.level, tree.level(v).unwrap() as u64);
+                prop_assert_eq!(r.parent, tree.parent(v));
+            }
+        }
+    }
+
+    #[test]
+    fn mis_election_equals_first_fit(g0 in graph_strategy(20), delay_seed in 0u64..100) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let tree = traversal::BfsTree::rooted_at(&g, 0);
+        let centralized = BfsMis::compute(&g, 0).mis().to_vec();
+        for max_delay in [1u64, 4] {
+            let mut nodes: Vec<MisElection> = (0..g.num_nodes())
+                .map(|v| MisElection::new((tree.level(v).unwrap() as u64, v)))
+                .collect();
+            Simulator::new()
+                .delay(max_delay, delay_seed)
+                .run(&g, &mut nodes)
+                .expect("election quiesces");
+            let distributed: Vec<usize> = (0..g.num_nodes())
+                .filter(|&v| nodes[v].in_mis() == Some(true))
+                .collect();
+            prop_assert_eq!(&distributed, &centralized);
+        }
+    }
+
+    #[test]
+    fn broadcast_over_cds_covers_everyone(g0 in graph_strategy(18), source_pick in 0usize..18) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let source = source_pick % g.num_nodes();
+        let cds = mcds_cds::greedy_cds(&g).expect("connected");
+        let out = mcds_distsim::protocols::run_broadcast(&g, source, cds.nodes())
+            .expect("valid protocol");
+        prop_assert_eq!(out.reached, g.num_nodes());
+        // Cost: source + at most one transmission per backbone node.
+        prop_assert!(out.stats.transmissions as usize <= cds.len() + 1);
+    }
+
+    #[test]
+    fn luby_always_yields_a_valid_mis(g0 in graph_strategy(20), seed in 0u64..500) {
+        // Luby works on disconnected graphs too — no giant() restriction.
+        let g = g0;
+        let mut nodes: Vec<mcds_distsim::protocols::LubyMis> = (0..g.num_nodes())
+            .map(|v| mcds_distsim::protocols::LubyMis::new(seed, v))
+            .collect();
+        mcds_distsim::Simulator::new()
+            .round_limit(10_000)
+            .run(&g, &mut nodes)
+            .expect("luby quiesces");
+        prop_assert!(nodes.iter().all(|n| n.in_mis().is_some()));
+        let mis: Vec<usize> = (0..g.num_nodes())
+            .filter(|&v| nodes[v].in_mis() == Some(true))
+            .collect();
+        prop_assert!(mcds_graph::properties::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn distributed_verification_matches_centralized(g0 in graph_strategy(16), pick in proptest::collection::vec(any::<bool>(), 16)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let members: Vec<usize> = (0..g.num_nodes()).filter(|&v| pick[v]).collect();
+        let report = mcds_distsim::protocols::run_verify_cds(&g, &members)
+            .expect("protocol quiesces");
+        let central = mcds_graph::properties::check_cds(&g, &members).is_ok();
+        prop_assert_eq!(report.is_valid(), central,
+            "members {:?}: report {:?}", members, report);
+    }
+
+    #[test]
+    fn pipeline_equals_centralized_waf(g0 in graph_strategy(20)) {
+        let g = giant(&g0);
+        prop_assume!(g.num_nodes() >= 2);
+        let run = run_waf_distributed(&g).expect("connected");
+        let central = mcds_cds::waf_cds_rooted(&g, run.root).expect("connected");
+        prop_assert_eq!(run.cds.nodes(), central.nodes());
+        prop_assert!(run.cds.verify(&g).is_ok());
+    }
+}

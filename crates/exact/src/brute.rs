@@ -1,0 +1,131 @@
+//! Exhaustive `O(2ⁿ)` reference solvers, for cross-checking the branch &
+//! bound implementations on tiny graphs (n ≤ ~22).
+
+use mcds_graph::{properties, Graph};
+
+const MAX_BRUTE_NODES: usize = 26;
+
+fn subset_to_vec(mask: u32) -> Vec<usize> {
+    (0..32).filter(|&b| mask & (1 << b) != 0).collect()
+}
+
+fn check_size(g: &Graph) {
+    assert!(
+        g.num_nodes() <= MAX_BRUTE_NODES,
+        "brute-force solvers are capped at {MAX_BRUTE_NODES} nodes, got {}",
+        g.num_nodes()
+    );
+}
+
+/// Maximum independent set by enumerating all subsets.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 26 nodes.
+pub fn max_independent_set_brute(g: &Graph) -> Vec<usize> {
+    check_size(g);
+    let n = g.num_nodes();
+    let mut best: Vec<usize> = Vec::new();
+    for mask in 0u32..(1u32 << n) {
+        if (mask.count_ones() as usize) <= best.len() {
+            continue;
+        }
+        let set = subset_to_vec(mask);
+        if properties::is_independent_set(g, &set) {
+            best = set;
+        }
+    }
+    best
+}
+
+/// Minimum dominating set by enumerating subsets in increasing size.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 26 nodes.
+pub fn min_dominating_set_brute(g: &Graph) -> Vec<usize> {
+    check_size(g);
+    let n = g.num_nodes();
+    for size in 0..=n {
+        for mask in 0u32..(1u32 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let set = subset_to_vec(mask);
+            if properties::is_dominating_set(g, &set) {
+                return set;
+            }
+        }
+    }
+    unreachable!("the whole vertex set always dominates")
+}
+
+/// Minimum connected dominating set by enumerating subsets in increasing
+/// size; `None` when the graph is disconnected.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 26 nodes.
+pub fn min_connected_dominating_set_brute(g: &Graph) -> Option<Vec<usize>> {
+    check_size(g);
+    if !g.is_connected() {
+        return None;
+    }
+    let n = g.num_nodes();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    for size in 1..=n {
+        for mask in 0u32..(1u32 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let set = subset_to_vec(mask);
+            if properties::is_connected_dominating_set(g, &set) {
+                return Some(set);
+            }
+        }
+    }
+    unreachable!("the whole vertex set of a connected graph is a CDS")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_on_known_families() {
+        assert_eq!(max_independent_set_brute(&Graph::cycle(5)).len(), 2);
+        assert_eq!(min_dominating_set_brute(&Graph::path(6)).len(), 2);
+        assert_eq!(
+            min_connected_dominating_set_brute(&Graph::path(6))
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            min_connected_dominating_set_brute(&Graph::star(6)).unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            min_connected_dominating_set_brute(&Graph::from_edges(4, [(0, 1), (2, 3)])),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        assert!(max_independent_set_brute(&Graph::empty(0)).is_empty());
+        assert!(min_dominating_set_brute(&Graph::empty(0)).is_empty());
+        assert_eq!(
+            min_connected_dominating_set_brute(&Graph::empty(0)),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversized_graph_panics() {
+        let _ = max_independent_set_brute(&Graph::empty(30));
+    }
+}

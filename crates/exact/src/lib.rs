@@ -1,0 +1,67 @@
+//! Exact solvers and lower bounds for the optimization problems the paper
+//! reasons about: the independence number `α(G)`, the domination number
+//! `γ(G)`, and the connected domination number `γ_c(G)`.
+//!
+//! The paper's results are *relative* guarantees (`|CDS| ≤ 7⅓·γ_c`, `α ≤
+//! 11/3·γ_c + 1`), so reproducing its claims empirically requires the
+//! right-hand sides: this crate computes them exactly on instances small
+//! enough for branch & bound, and bounds them from below otherwise.
+//!
+//! * [`max_independent_set`] — B&B with greedy-clique-cover bounding
+//!   (practical to n ≈ 120 on sparse UDGs; hard caps at 128 nodes),
+//! * [`try_max_independent_set_any`] — the same search over
+//!   arbitrary-width bitsets for graphs beyond 128 nodes,
+//! * [`min_dominating_set`] — B&B branching on the closed neighborhood of
+//!   an uncovered vertex,
+//! * [`min_connected_dominating_set`] — iterative deepening over the CDS
+//!   size with domination-based pruning,
+//! * [`brute`] — exhaustive `O(2ⁿ)` reference solvers for cross-checks,
+//! * budgeted variants (`try_*`) that abandon the search after a step
+//!   limit, for use inside experiment sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_graph::Graph;
+//! use mcds_exact::{independence_number, connected_domination_number};
+//!
+//! let g = Graph::cycle(9);
+//! assert_eq!(independence_number(&g), 4);
+//! assert_eq!(connected_domination_number(&g), Some(7)); // γ_c(C_n) = n − 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod domination;
+mod independence;
+mod wide;
+
+pub mod brute;
+
+pub use domination::{
+    connected_domination_number, domination_number, min_connected_dominating_set,
+    min_dominating_set, try_min_connected_dominating_set, try_min_dominating_set,
+};
+pub use independence::{independence_number, max_independent_set, try_max_independent_set};
+
+/// Budgeted exact maximum independent set for graphs of *any* size:
+/// dispatches to the 128-bit fast path when it fits, and to the
+/// arbitrary-width engine otherwise.
+///
+/// Returns `None` when `max_steps` branch & bound nodes are exhausted
+/// (a `Some` is always exact).  Practical reach depends on structure:
+/// sparse UDGs solve comfortably to a few hundred nodes.
+pub fn try_max_independent_set_any(g: &mcds_graph::Graph, max_steps: u64) -> Option<Vec<usize>> {
+    if g.num_nodes() <= 128 {
+        try_max_independent_set(g, max_steps)
+    } else {
+        wide::try_max_independent_set_wide(g, max_steps)
+    }
+}
+
+/// Default step budget for the `try_*` solvers used in experiment sweeps:
+/// generous enough for the instance sizes the harness generates, small
+/// enough to keep a sweep bounded.
+pub const DEFAULT_BUDGET: u64 = 50_000_000;

@@ -1,0 +1,289 @@
+//! Maximum independent set for graphs beyond 128 nodes: the same branch
+//! & bound as [`crate::max_independent_set`], over arbitrary-width
+//! bitsets (`Vec<u64>` rows).
+//!
+//! Slower per node than the `u128` fast path but unbounded in width; the
+//! dispatching wrappers in [`crate`] pick the right engine.
+
+use mcds_graph::Graph;
+
+/// A fixed-width bitset over `words × 64` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    pub(crate) fn zeros(n_bits: usize) -> Self {
+        Bits {
+            words: vec![0; n_bits.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn ones(n_bits: usize) -> Self {
+        let mut b = Bits::zeros(n_bits);
+        for (i, w) in b.words.iter_mut().enumerate() {
+            let remaining = n_bits.saturating_sub(i * 64);
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else if remaining == 0 {
+                0
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        b
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[cfg(test)] // exercised by the bitset unit tests only
+    pub(crate) fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// First set bit, if any.
+    pub(crate) fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// `self &= other`.
+    pub(crate) fn and_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub(crate) fn andnot_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Popcount of `self & other` without allocating.
+    pub(crate) fn and_count(&self, other: &Bits) -> u32 {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Iterates set bits ascending.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w0)| {
+            let mut w = w0;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+struct WideSearch<'a> {
+    adj: &'a [Bits],
+    best: Bits,
+    best_size: u32,
+    steps: u64,
+    budget: u64,
+}
+
+impl WideSearch<'_> {
+    /// Greedy clique-cover bound (same logic as the u128 engine).
+    fn clique_cover_bound(&self, cand: &Bits) -> u32 {
+        let mut cand = cand.clone();
+        let mut cliques = 0u32;
+        while let Some(v) = cand.first() {
+            let mut common = self.adj[v].clone();
+            cand.clear(v);
+            loop {
+                let mut pick = None;
+                // First candidate inside the running clique intersection.
+                for u in cand.iter() {
+                    if common.get(u) {
+                        pick = Some(u);
+                        break;
+                    }
+                }
+                match pick {
+                    Some(u) => {
+                        common.and_assign(&self.adj[u]);
+                        cand.clear(u);
+                    }
+                    None => break,
+                }
+            }
+            cliques += 1;
+        }
+        cliques
+    }
+
+    fn run(&mut self, current: &mut Bits, current_size: u32, cand: &Bits) -> bool {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return false;
+        }
+        if cand.is_empty() {
+            if current_size > self.best_size {
+                self.best_size = current_size;
+                self.best = current.clone();
+            }
+            return true;
+        }
+        if current_size + self.clique_cover_bound(cand) <= self.best_size {
+            return true;
+        }
+        // Pivot: max degree within cand.
+        let mut pivot = usize::MAX;
+        let mut pivot_deg = -1i64;
+        for v in cand.iter() {
+            let d = self.adj[v].and_count(cand) as i64;
+            if d > pivot_deg {
+                pivot_deg = d;
+                pivot = v;
+            }
+        }
+        let v = pivot;
+        // Include v.
+        let mut included = cand.clone();
+        included.andnot_assign(&self.adj[v]);
+        included.clear(v);
+        current.set(v);
+        let ok = self.run(current, current_size + 1, &included);
+        current.clear(v);
+        if !ok {
+            return false;
+        }
+        // Exclude v.
+        let mut excluded = cand.clone();
+        excluded.clear(v);
+        self.run(current, current_size, &excluded)
+    }
+}
+
+/// Budgeted exact maximum independent set for arbitrary node counts.
+///
+/// Returns `None` if the budget is exhausted (a `Some` is always exact).
+pub(crate) fn try_max_independent_set_wide(g: &Graph, max_steps: u64) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut adj: Vec<Bits> = (0..n).map(|_| Bits::zeros(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u].set(v);
+        adj[v].set(u);
+    }
+    let mut search = WideSearch {
+        adj: &adj,
+        best: Bits::zeros(n),
+        best_size: 0,
+        steps: 0,
+        budget: max_steps,
+    };
+    let full = Bits::ones(n);
+    let mut current = Bits::zeros(n);
+    if !search.run(&mut current, 0, &full) {
+        return None;
+    }
+    Some(search.best.iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_graph::properties;
+
+    #[test]
+    fn bits_basics() {
+        let mut b = Bits::zeros(130);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert_eq!(b.count(), 3);
+        assert!(b.get(64));
+        assert_eq!(b.first(), Some(0));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        b.clear(0);
+        assert_eq!(b.first(), Some(64));
+        let ones = Bits::ones(130);
+        assert_eq!(ones.count(), 130);
+        assert_eq!(b.and_count(&ones), 2);
+        let mut c = ones.clone();
+        c.andnot_assign(&b);
+        assert_eq!(c.count(), 128);
+    }
+
+    #[test]
+    fn wide_agrees_with_narrow_on_small_graphs() {
+        let mut s = 31337u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..15 {
+            let n = 18;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 22 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            let wide = try_max_independent_set_wide(&g, u64::MAX).unwrap();
+            let narrow = crate::max_independent_set(&g);
+            assert!(properties::is_independent_set(&g, &wide));
+            assert_eq!(wide.len(), narrow.len(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn wide_handles_more_than_128_nodes() {
+        // A 150-cycle: α = 75.
+        let g = Graph::cycle(150);
+        let mis = try_max_independent_set_wide(&g, u64::MAX).unwrap();
+        assert_eq!(mis.len(), 75);
+        assert!(properties::is_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn wide_respects_budget() {
+        let g = Graph::cycle(200);
+        assert!(try_max_independent_set_wide(&g, 2).is_none());
+    }
+}

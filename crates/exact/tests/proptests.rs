@@ -1,0 +1,63 @@
+//! Property-based cross-checks of the exact solvers against the
+//! exhaustive reference implementations, on tiny random graphs.
+
+use mcds_exact::{
+    brute, independence_number, max_independent_set, min_connected_dominating_set,
+    min_dominating_set,
+};
+use mcds_graph::{properties, Graph};
+use proptest::prelude::*;
+
+fn tiny_graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..11).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2))
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alpha_matches_brute(g in tiny_graph_strategy()) {
+        let fast = max_independent_set(&g);
+        prop_assert!(properties::is_independent_set(&g, &fast));
+        prop_assert_eq!(fast.len(), brute::max_independent_set_brute(&g).len());
+    }
+
+    #[test]
+    fn gamma_matches_brute(g in tiny_graph_strategy()) {
+        let fast = min_dominating_set(&g);
+        prop_assert!(properties::is_dominating_set(&g, &fast));
+        prop_assert_eq!(fast.len(), brute::min_dominating_set_brute(&g).len());
+    }
+
+    #[test]
+    fn gamma_c_matches_brute(g in tiny_graph_strategy()) {
+        let fast = min_connected_dominating_set(&g);
+        let slow = brute::min_connected_dominating_set_brute(&g);
+        match (fast, slow) {
+            (Some(f), Some(s)) => {
+                prop_assert!(properties::check_cds(&g, &f).is_ok());
+                prop_assert_eq!(f.len(), s.len());
+            }
+            (None, None) => {} // both agree: disconnected
+            (f, s) => prop_assert!(false, "solver disagreement: {:?} vs {:?}", f, s),
+        }
+    }
+
+    #[test]
+    fn solver_chain_inequalities(g in tiny_graph_strategy()) {
+        // γ ≤ γ_c (when γ_c exists) and γ ≤ n − α... the complement of a
+        // maximum independent set is a vertex cover, not directly γ; use
+        // the standard facts: γ ≤ α (every maximal independent set is
+        // dominating and α is the largest independent set... actually
+        // γ ≤ size of ANY maximal independent set ≤ α).
+        let gamma = min_dominating_set(&g).len();
+        let alpha = independence_number(&g);
+        prop_assert!(gamma <= alpha.max(1));
+        if let Some(cds) = min_connected_dominating_set(&g) {
+            prop_assert!(gamma <= cds.len().max(1));
+        }
+    }
+}

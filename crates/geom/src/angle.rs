@@ -1,0 +1,172 @@
+//! Angle normalization and angular-interval helpers.
+//!
+//! The tightness constructions in the paper's Section V place points on
+//! circle boundaries at prescribed angular separations ("let `q₁` and `q₂`
+//! be the two points evenly on the major arc between `p₁` and `p₂`"); these
+//! helpers make that bookkeeping explicit and testable.
+
+use std::f64::consts::{PI, TAU};
+
+/// Normalizes an angle in radians to the half-open interval `[0, 2π)`.
+///
+/// ```
+/// use mcds_geom::normalize_angle;
+/// use std::f64::consts::{PI, TAU};
+/// assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+/// assert!(normalize_angle(TAU) < 1e-12);
+/// ```
+pub fn normalize_angle(theta: f64) -> f64 {
+    let r = theta.rem_euclid(TAU);
+    // rem_euclid can return TAU itself for inputs like -1e-17.
+    if r >= TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// A directed angular interval on the circle, from `start` sweeping
+/// counter-clockwise by `extent` radians (`0 ≤ extent ≤ 2π`).
+///
+/// ```
+/// use mcds_geom::Angle;
+/// use std::f64::consts::PI;
+/// let arc = Angle::ccw(0.0, PI);          // upper half circle
+/// assert!(arc.contains(PI / 2.0));
+/// assert!(!arc.contains(-PI / 2.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Angle {
+    start: f64,
+    extent: f64,
+}
+
+impl Angle {
+    /// Creates the interval starting at `start` and sweeping `extent`
+    /// radians counter-clockwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent` is negative or exceeds `2π` (such an interval is
+    /// ill-defined on the circle).
+    pub fn ccw(start: f64, extent: f64) -> Self {
+        assert!(
+            (0.0..=TAU + 1e-12).contains(&extent),
+            "angular extent {extent} out of [0, 2π]"
+        );
+        Angle {
+            start: normalize_angle(start),
+            extent: extent.min(TAU),
+        }
+    }
+
+    /// The interval from `a` counter-clockwise to `b`.
+    pub fn between(a: f64, b: f64) -> Self {
+        let a = normalize_angle(a);
+        let b = normalize_angle(b);
+        let extent = normalize_angle(b - a);
+        Angle { start: a, extent }
+    }
+
+    /// Start angle, normalized to `[0, 2π)`.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Counter-clockwise extent in radians.
+    #[inline]
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// End angle, normalized to `[0, 2π)`.
+    #[inline]
+    pub fn end(&self) -> f64 {
+        normalize_angle(self.start + self.extent)
+    }
+
+    /// Returns `true` if the interval is *minor* (extent ≤ π), matching the
+    /// paper's "minor arc" terminology.
+    #[inline]
+    pub fn is_minor(&self) -> bool {
+        self.extent <= PI + 1e-12
+    }
+
+    /// Returns `true` if angle `theta` lies within the interval
+    /// (inclusive of both endpoints, up to a small tolerance).
+    pub fn contains(&self, theta: f64) -> bool {
+        let rel = normalize_angle(theta - self.start);
+        rel <= self.extent + 1e-12
+    }
+
+    /// `k` angles evenly spaced strictly inside the interval.
+    ///
+    /// For `k = 2` this is exactly the paper's "two points evenly on the
+    /// major arc": the interval is cut into `k + 1` equal pieces and the
+    /// `k` interior cut angles are returned.
+    pub fn evenly_spaced(&self, k: usize) -> Vec<f64> {
+        (1..=k)
+            .map(|i| normalize_angle(self.start + self.extent * i as f64 / (k + 1) as f64))
+            .collect()
+    }
+
+    /// Midpoint angle of the interval.
+    pub fn midpoint(&self) -> f64 {
+        normalize_angle(self.start + self.extent / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn normalize_wraps_negative_and_large() {
+        assert!((normalize_angle(-FRAC_PI_2) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+        assert!((normalize_angle(5.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert!(normalize_angle(-1e-17) < TAU);
+    }
+
+    #[test]
+    fn between_crossing_zero() {
+        let arc = Angle::between(3.0 * FRAC_PI_2, FRAC_PI_2); // 270° -> 90° CCW
+        assert!((arc.extent() - PI).abs() < 1e-12);
+        assert!(arc.contains(0.0));
+        assert!(arc.contains(TAU - 0.1));
+        assert!(!arc.contains(PI));
+    }
+
+    #[test]
+    fn minor_vs_major() {
+        assert!(Angle::ccw(0.0, PI).is_minor());
+        assert!(!Angle::ccw(0.0, PI + 0.1).is_minor());
+    }
+
+    #[test]
+    fn evenly_spaced_two_points() {
+        let arc = Angle::ccw(0.0, 3.0);
+        let pts = arc.evenly_spaced(2);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0] - 1.0).abs() < 1e-12);
+        assert!((pts[1] - 2.0).abs() < 1e-12);
+        for p in pts {
+            assert!(arc.contains(p));
+        }
+    }
+
+    #[test]
+    fn midpoint_and_end() {
+        let arc = Angle::ccw(TAU - 1.0, 2.0);
+        assert!((arc.end() - 1.0).abs() < 1e-12);
+        assert!((arc.midpoint() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "angular extent")]
+    fn negative_extent_panics() {
+        let _ = Angle::ccw(0.0, -0.1);
+    }
+}

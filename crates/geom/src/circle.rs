@@ -1,0 +1,163 @@
+//! Circles (disk boundaries) and circle–circle intersection.
+
+use crate::{Point, EPS};
+use std::fmt;
+
+/// A circle in the plane — the boundary `∂D_u` of a disk.
+///
+/// The paper's Fig.-1 construction intersects unit circles to place the
+/// boundary points `p₁, p₂, q₁, q₂`; [`Circle::intersect`] performs exactly
+/// that operation.
+///
+/// ```
+/// use mcds_geom::{Circle, Point};
+/// let a = Circle::unit(Point::new(0.0, 0.0));
+/// let b = Circle::unit(Point::new(1.0, 0.0));
+/// let (p, q) = a.intersect(&b).unwrap();
+/// assert!((p.dist(Point::new(0.5, 0.866_025_403_784_438_6)) < 1e-9)
+///      || (q.dist(Point::new(0.5, 0.866_025_403_784_438_6)) < 1e-9));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius of the circle (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle from center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// The unit circle `∂D_c` centered at `c`.
+    pub fn unit(center: Point) -> Self {
+        Circle::new(center, 1.0)
+    }
+
+    /// The point on the circle at angle `theta` (radians, CCW from +x).
+    pub fn point_at(&self, theta: f64) -> Point {
+        Point::polar(self.center, self.radius, theta)
+    }
+
+    /// The angle of `p` as seen from the center.
+    pub fn angle_of(&self, p: Point) -> f64 {
+        (p - self.center).angle()
+    }
+
+    /// Returns `true` if `p` lies on the circle (within `tol`).
+    pub fn on_boundary(&self, p: Point, tol: f64) -> bool {
+        (self.center.dist(p) - self.radius).abs() <= tol
+    }
+
+    /// Intersection points of two circles.
+    ///
+    /// Returns `None` when the circles are disjoint, one contains the other,
+    /// or they are concentric.  Tangent circles return the tangent point
+    /// twice.  The two points are returned in an order such that the first
+    /// lies on the *left* of the directed line from `self.center` to
+    /// `other.center`.
+    pub fn intersect(&self, other: &Circle) -> Option<(Point, Point)> {
+        let d = self.center.dist(other.center);
+        if d <= EPS {
+            return None; // concentric (or identical): no well-defined pair
+        }
+        let (r0, r1) = (self.radius, other.radius);
+        if d > r0 + r1 + EPS || d < (r0 - r1).abs() - EPS {
+            return None;
+        }
+        // Distance from self.center to the chord's foot along the center line.
+        let a = (r0 * r0 - r1 * r1 + d * d) / (2.0 * d);
+        let h_sq = (r0 * r0 - a * a).max(0.0);
+        let h = h_sq.sqrt();
+        let dir = (other.center - self.center) / d;
+        let foot = self.center + dir * a;
+        let perp = Point::new(-dir.y, dir.x); // left normal
+        Some((foot + perp * h, foot - perp * h))
+    }
+
+    /// Circumference of the circle.
+    pub fn circumference(&self) -> f64 {
+        std::f64::consts::TAU * self.radius
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle(center={}, r={})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_of_offset_unit_circles() {
+        let a = Circle::unit(Point::ORIGIN);
+        let b = Circle::unit(Point::new(1.0, 0.0));
+        let (p, q) = a.intersect(&b).unwrap();
+        // Both intersection points are at distance 1 from both centers.
+        for s in [p, q] {
+            assert!(a.on_boundary(s, 1e-12));
+            assert!(b.on_boundary(s, 1e-12));
+        }
+        // First point is on the left of the o->u line (positive y here).
+        assert!(p.y > 0.0);
+        assert!(q.y < 0.0);
+        assert!((p.x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_and_contained_circles_do_not_intersect() {
+        let a = Circle::unit(Point::ORIGIN);
+        let far = Circle::unit(Point::new(5.0, 0.0));
+        assert!(a.intersect(&far).is_none());
+        let inner = Circle::new(Point::new(0.1, 0.0), 0.2);
+        assert!(a.intersect(&inner).is_none());
+        assert!(a.intersect(&a).is_none()); // concentric
+    }
+
+    #[test]
+    fn tangent_circles_touch_once() {
+        let a = Circle::unit(Point::ORIGIN);
+        let b = Circle::unit(Point::new(2.0, 0.0));
+        let (p, q) = a.intersect(&b).unwrap();
+        assert!(p.dist(q) < 1e-6);
+        assert!(p.dist(Point::new(1.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn point_at_and_angle_of_roundtrip() {
+        let c = Circle::new(Point::new(2.0, 3.0), 1.5);
+        for &theta in &[0.0, 0.7, 2.0, -1.2] {
+            let p = c.point_at(theta);
+            assert!(c.on_boundary(p, 1e-12));
+            let back = c.angle_of(p);
+            let diff = (back - theta).rem_euclid(std::f64::consts::TAU);
+            assert!(diff < 1e-9 || (std::f64::consts::TAU - diff) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circumference_matches() {
+        assert!(
+            (Circle::unit(Point::ORIGIN).circumference() - std::f64::consts::TAU).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+}

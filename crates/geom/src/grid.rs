@@ -1,0 +1,275 @@
+//! Uniform-grid spatial index for radius-bounded neighbor queries.
+//!
+//! Building a unit-disk graph naively costs `Θ(n²)` distance tests.  The
+//! [`GridIndex`] hashes points into square cells whose side equals the query
+//! radius, so each query inspects only the 3 × 3 block of cells around the
+//! query point — expected `O(1)` candidates at bounded density, giving
+//! expected `O(n + m)` UDG construction.
+
+use crate::Point;
+use std::collections::HashMap;
+
+/// A uniform-grid spatial hash over a fixed set of points.
+///
+/// The index is immutable after construction (UDG node sets never change
+/// mid-algorithm), which keeps it simple and cache-friendly.
+///
+/// ```
+/// use mcds_geom::{grid::GridIndex, Point};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(3.0, 0.0)];
+/// let idx = GridIndex::build(&pts, 1.0);
+/// let mut close = idx.within(Point::new(0.1, 0.0), 1.0);
+/// close.sort_unstable();
+/// assert_eq!(close, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with cell side `cell_size`.
+    ///
+    /// For pure radius-`r` queries, `cell_size = r` is optimal.  The point
+    /// slice is copied so the index can answer distance tests without
+    /// borrowing the caller's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, or if any
+    /// point has non-finite coordinates (such points cannot be hashed into
+    /// a cell meaningfully).
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "grid cell size must be positive and finite, got {cell_size}"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+            cells
+                .entry(Self::key(p, cell_size))
+                .or_default()
+                .push(i as u32);
+        }
+        GridIndex {
+            cell: cell_size,
+            cells,
+            points: points.to_vec(),
+        }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cell side length used by this index.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Indices of all points within distance `r` of `q` (closed ball),
+    /// where `r` must not exceed the cell size (otherwise the 3×3 block
+    /// around `q` would miss candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > cell_size`.
+    pub fn within(&self, q: Point, r: f64) -> Vec<usize> {
+        assert!(
+            r <= self.cell + crate::EPS,
+            "query radius {r} exceeds grid cell size {}",
+            self.cell
+        );
+        let mut out = Vec::new();
+        self.for_each_within(q, r, |i| out.push(i));
+        out
+    }
+
+    /// Visits the index of every point within distance `r` of `q`.
+    ///
+    /// Same contract as [`GridIndex::within`] but without allocating.
+    pub fn for_each_within<F: FnMut(usize)>(&self, q: Point, r: f64, mut f: F) {
+        let (cx, cy) = Self::key(q, self.cell);
+        let r_sq = r * r + crate::EPS;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in bucket {
+                        if self.points[i as usize].dist_sq(q) <= r_sq {
+                            f(i as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All unordered pairs `(i, j)`, `i < j`, with `dist ≤ r`.
+    ///
+    /// This is the edge set of the radius-`r` disk graph over the indexed
+    /// points; expected `O(n + m)` at bounded density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > cell_size`.
+    pub fn close_pairs(&self, r: f64) -> Vec<(usize, usize)> {
+        assert!(
+            r <= self.cell + crate::EPS,
+            "pair radius {r} exceeds grid cell size {}",
+            self.cell
+        );
+        let r_sq = r * r + crate::EPS;
+        let mut pairs = Vec::new();
+        for (&(cx, cy), bucket) in &self.cells {
+            // Within-bucket pairs.
+            for (a, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[a + 1..] {
+                    let (i, j) = if i < j { (i, j) } else { (j, i) };
+                    if self.points[i as usize].dist_sq(self.points[j as usize]) <= r_sq {
+                        pairs.push((i as usize, j as usize));
+                    }
+                }
+            }
+            // Cross-bucket pairs: visit each unordered cell pair once by
+            // scanning only the 4 "forward" neighbor cells.
+            for (dx, dy) in [(1, 0), (1, 1), (0, 1), (-1, 1)] {
+                if let Some(other) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in bucket {
+                        for &j in other {
+                            let (i, j) = if i < j { (i, j) } else { (j, i) };
+                            if self.points[i as usize].dist_sq(self.points[j as usize]) <= r_sq {
+                                pairs.push((i as usize, j as usize));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_pairs(pts: &[Point], r: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].dist(pts[j]) <= r + crate::EPS {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        // Tiny xorshift so the substrate tests don't need the rand crate.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * side, next() * side))
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts = pseudo_random_points(200, 5.0, 42);
+        let idx = GridIndex::build(&pts, 1.0);
+        for qi in [0usize, 17, 63, 150] {
+            let q = pts[qi];
+            let mut got = idx.within(q, 1.0);
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..pts.len())
+                .filter(|&j| pts[j].dist(q) <= 1.0 + crate::EPS)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn close_pairs_matches_brute_force() {
+        for seed in [1u64, 7, 99] {
+            let pts = pseudo_random_points(150, 4.0, seed);
+            let idx = GridIndex::build(&pts, 1.0);
+            let mut got = idx.close_pairs(1.0);
+            got.sort_unstable();
+            got.dedup();
+            let mut want = brute_pairs(&pts, 1.0);
+            want.sort_unstable();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.within(Point::ORIGIN, 1.0).is_empty());
+        assert!(idx.close_pairs(1.0).is_empty());
+    }
+
+    #[test]
+    fn query_radius_below_cell_size_is_allowed() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.4, 0.0),
+            Point::new(0.9, 0.0),
+        ];
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.within(Point::ORIGIN, 0.5);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid cell size")]
+    fn oversized_query_radius_panics() {
+        let idx = GridIndex::build(&[Point::ORIGIN], 1.0);
+        let _ = idx.within(Point::ORIGIN, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    fn points_on_cell_boundaries_are_found() {
+        // Points exactly on integer cell boundaries must not be missed.
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(2.0, 2.0),
+        ];
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.close_pairs(1.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+}

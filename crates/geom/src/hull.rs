@@ -1,0 +1,208 @@
+//! Convex hulls and point-set diameters.
+//!
+//! The paper's appendix reasons about *arc-polygons* whose diameter is
+//! bounded by the diameter of their vertex set; on the computational side we
+//! only ever need ordinary point-set diameters, computed here exactly via
+//! the convex hull and rotating calipers (with a brute-force cross-check
+//! used in tests).
+
+use crate::Point;
+
+/// Computes the convex hull of `points` via Andrew's monotone chain.
+///
+/// Returns hull vertices in counter-clockwise order, starting from the
+/// lexicographically smallest point.  Collinear points on hull edges are
+/// *excluded* (strictly convex hull).  Degenerate inputs are handled: an
+/// empty input yields an empty hull, and 1–2 distinct points yield
+/// themselves.
+///
+/// ```
+/// use mcds_geom::{hull::convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0), Point::new(1.0, 1.0), // interior
+/// ];
+/// assert_eq!(convex_hull(&pts).len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.dist_sq(*b) == 0.0);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point == first point
+    hull
+}
+
+/// Diameter (largest pairwise distance) of a point set, exact via rotating
+/// calipers on the convex hull; `O(n log n)`.
+///
+/// Returns `0.0` for sets with fewer than two points.
+///
+/// ```
+/// use mcds_geom::{hull::diameter, Point};
+/// let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, 0.2)];
+/// assert_eq!(diameter(&pts), 1.0);
+/// ```
+pub fn diameter(points: &[Point]) -> f64 {
+    let hull = convex_hull(points);
+    let h = hull.len();
+    match h {
+        0 | 1 => 0.0,
+        2 => hull[0].dist(hull[1]),
+        _ => {
+            let mut best = 0.0f64;
+            let mut j = 1;
+            for i in 0..h {
+                let edge_next = hull[(i + 1) % h];
+                // Advance j while the next antipodal candidate is farther
+                // from edge (hull[i], edge_next).
+                loop {
+                    let jn = (j + 1) % h;
+                    let cur = Point::orient(hull[i], edge_next, hull[j]).abs();
+                    let nxt = Point::orient(hull[i], edge_next, hull[jn]).abs();
+                    if nxt > cur {
+                        j = jn;
+                    } else {
+                        break;
+                    }
+                }
+                best = best.max(hull[i].dist(hull[j]));
+                best = best.max(edge_next.dist(hull[j]));
+            }
+            best
+        }
+    }
+}
+
+/// Diameter by brute force; `O(n²)`.  Reference implementation for tests
+/// and fine for the small point sets of the tightness constructions.
+pub fn diameter_brute(points: &[Point]) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.max(points[i].dist(points[j]));
+        }
+    }
+    best
+}
+
+/// Signed area of a simple polygon given by its vertices in order
+/// (positive for counter-clockwise orientation).
+pub fn polygon_area(vertices: &[Point]) -> f64 {
+    let n = vertices.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut twice = 0.0;
+    for i in 0..n {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        twice += a.cross(b);
+    }
+    twice / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_noise() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+            Point::new(2.0, 0.0), // collinear on an edge
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_is_square() {
+        let hull = convex_hull(&square_with_noise());
+        assert_eq!(hull.len(), 4);
+        // CCW orientation.
+        assert!(polygon_area(&hull) > 0.0);
+        assert_eq!(polygon_area(&hull), 16.0);
+    }
+
+    #[test]
+    fn hull_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let one = [Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&one), one.to_vec());
+        let dup = [Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&dup).len(), 1);
+        let collinear = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        // Strictly convex hull of collinear points keeps the two extremes.
+        assert_eq!(convex_hull(&collinear).len(), 2);
+    }
+
+    #[test]
+    fn diameter_matches_brute_on_fixed_sets() {
+        let sets: Vec<Vec<Point>> = vec![
+            square_with_noise(),
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)],
+            vec![Point::new(0.0, 0.0)],
+            vec![],
+            (0..20)
+                .map(|i| {
+                    let t = i as f64;
+                    Point::new((t * 0.7).sin() * 3.0, (t * 1.3).cos() * 2.0)
+                })
+                .collect(),
+        ];
+        for pts in sets {
+            let d1 = diameter(&pts);
+            let d2 = diameter_brute(&pts);
+            assert!(
+                (d1 - d2).abs() < 1e-9,
+                "calipers {d1} vs brute {d2} on {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn polygon_area_triangle() {
+        let tri = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert_eq!(polygon_area(&tri), 2.0);
+        let tri_cw: Vec<Point> = tri.iter().rev().copied().collect();
+        assert_eq!(polygon_area(&tri_cw), -2.0);
+        assert_eq!(polygon_area(&tri[..2]), 0.0);
+    }
+}

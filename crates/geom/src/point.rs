@@ -1,0 +1,357 @@
+//! Plain 2-D points with vector arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point (or free vector) in the Euclidean plane.
+///
+/// `Point` doubles as a 2-D vector: subtraction of two points yields the
+/// displacement vector between them, and scalar multiplication scales a
+/// vector.  All UDG nodes, disk centers and construction points in the
+/// workspace are `Point`s.
+///
+/// ```
+/// use mcds_geom::Point;
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// assert_eq!((a + b) / 2.0, a.midpoint(b));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates the unit vector at angle `theta` (radians, CCW from +x).
+    ///
+    /// ```
+    /// use mcds_geom::Point;
+    /// let p = Point::from_angle(std::f64::consts::FRAC_PI_2);
+    /// assert!((p.y - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Point::new(theta.cos(), theta.sin())
+    }
+
+    /// Creates a point at polar coordinates `(r, theta)` around `center`.
+    #[inline]
+    pub fn polar(center: Point, r: f64, theta: f64) -> Self {
+        center + Point::from_angle(theta) * r
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::dist`]; prefer it for comparisons against a
+    /// squared threshold (UDG adjacency tests compare against `1.0`).
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Euclidean norm of this point viewed as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Squared Euclidean norm of this point viewed as a vector.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Positive iff `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Orientation of the ordered triple `(a, b, c)`.
+    ///
+    /// Returns a positive value if the triple turns counter-clockwise,
+    /// negative if clockwise, and (approximately) zero if collinear.
+    #[inline]
+    pub fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b - a).cross(c - a)
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// The vector rotated by `theta` radians counter-clockwise about the
+    /// origin.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Point {
+        let (s, c) = theta.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// The point rotated by `theta` radians counter-clockwise about `pivot`.
+    #[inline]
+    pub fn rotated_about(self, pivot: Point, theta: f64) -> Point {
+        pivot + (self - pivot).rotated(theta)
+    }
+
+    /// The vector scaled to unit length.
+    ///
+    /// Returns `None` for the zero vector (there is no direction to keep).
+    #[inline]
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The angle of this vector in radians, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The point mirrored across the x-axis.
+    #[inline]
+    pub fn mirror_x(self) -> Point {
+        Point::new(self.x, -self.y)
+    }
+
+    /// The point mirrored across the y-axis.
+    #[inline]
+    pub fn mirror_y(self) -> Point {
+        Point::new(-self.x, self.y)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(b.dist(a), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Point::new(0.5, 1.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn orientation_sign() {
+        let a = Point::ORIGIN;
+        let b = Point::new(1.0, 0.0);
+        let ccw = Point::new(1.0, 1.0);
+        let cw = Point::new(1.0, -1.0);
+        let col = Point::new(2.0, 0.0);
+        assert!(Point::orient(a, b, ccw) > 0.0);
+        assert!(Point::orient(a, b, cw) < 0.0);
+        assert_eq!(Point::orient(a, b, col), 0.0);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let p = Point::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!(p.dist(Point::new(0.0, 1.0)) < 1e-12);
+        let q = Point::new(2.0, 0.0).rotated_about(Point::new(1.0, 0.0), PI);
+        assert!(q.dist(Point::ORIGIN) < 1e-12);
+    }
+
+    #[test]
+    fn polar_and_angle_roundtrip() {
+        let c = Point::new(5.0, -2.0);
+        let p = Point::polar(c, 2.0, 1.1);
+        assert!((p.dist(c) - 2.0).abs() < 1e-12);
+        assert!(((p - c).angle() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Point::ORIGIN.normalized().is_none());
+        let v = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn mirrors() {
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(p.mirror_x(), Point::new(1.0, -2.0));
+        assert_eq!(p.mirror_y(), Point::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, 2.5));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Point::ORIGIN).is_empty());
+        assert_eq!(format!("{}", Point::new(1.0, 2.0)), "(1, 2)");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the geometry substrate.
+
+use mcds_geom::{
+    grid::GridIndex,
+    hull::{convex_hull, diameter, diameter_brute, polygon_area},
+    packing::{greedy_pack, is_independent, min_pairwise_distance},
+    Aabb, Circle, Disk, Point,
+};
+use proptest::prelude::*;
+
+fn point_strategy(scale: f64) -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000)
+        .prop_map(move |(x, y)| Point::new(x as f64 / 1000.0 * scale, y as f64 / 1000.0 * scale))
+}
+
+fn points_strategy(max_n: usize, scale: f64) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(point_strategy(scale), 0..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distance_is_a_metric(a in point_strategy(5.0), b in point_strategy(5.0), c in point_strategy(5.0)) {
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-12);
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+        prop_assert!((a.dist(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(p in point_strategy(5.0), theta in -10.0f64..10.0) {
+        let r = p.rotated(theta);
+        prop_assert!((r.norm() - p.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in points_strategy(40, 5.0)) {
+        let hull = convex_hull(&pts);
+        // Every input point is inside or on the hull: check via
+        // orientation against every hull edge (hull is CCW).
+        if hull.len() >= 3 {
+            for &p in &pts {
+                for i in 0..hull.len() {
+                    let a = hull[i];
+                    let b = hull[(i + 1) % hull.len()];
+                    prop_assert!(Point::orient(a, b, p) >= -1e-9,
+                        "point {p} outside hull edge {a}->{b}");
+                }
+            }
+            prop_assert!(polygon_area(&hull) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn calipers_diameter_equals_brute(pts in points_strategy(40, 5.0)) {
+        prop_assert!((diameter(&pts) - diameter_brute(&pts)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_within_matches_linear_scan(pts in points_strategy(80, 4.0), q in point_strategy(4.0)) {
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.within(q, 1.0);
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].dist(q) <= 1.0 + mcds_geom::EPS)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn greedy_pack_invariants(pts in points_strategy(60, 4.0)) {
+        let packed = greedy_pack(&pts);
+        prop_assert!(is_independent(&packed, 0.0));
+        for &p in &pts {
+            prop_assert!(packed.iter().any(|&k| k.dist(p) <= 1.0));
+        }
+        if let Some(d) = min_pairwise_distance(&packed) {
+            prop_assert!(d > 1.0);
+        }
+    }
+
+    #[test]
+    fn circle_intersections_lie_on_both(a in point_strategy(2.0), b in point_strategy(2.0)) {
+        let ca = Circle::unit(a);
+        let cb = Circle::unit(b);
+        if let Some((p, q)) = ca.intersect(&cb) {
+            prop_assert!(ca.on_boundary(p, 1e-6));
+            prop_assert!(cb.on_boundary(p, 1e-6));
+            prop_assert!(ca.on_boundary(q, 1e-6));
+            prop_assert!(cb.on_boundary(q, 1e-6));
+        }
+    }
+
+    #[test]
+    fn aabb_of_points_is_tight(pts in points_strategy(30, 5.0)) {
+        if let Some(bb) = Aabb::of_points(pts.iter().copied()) {
+            for &p in &pts {
+                prop_assert!(bb.contains(p));
+            }
+            // Tightness: some point touches each side.
+            let eps = 1e-9;
+            prop_assert!(pts.iter().any(|p| (p.x - bb.min().x).abs() < eps));
+            prop_assert!(pts.iter().any(|p| (p.x - bb.max().x).abs() < eps));
+            prop_assert!(pts.iter().any(|p| (p.y - bb.min().y).abs() < eps));
+            prop_assert!(pts.iter().any(|p| (p.y - bb.max().y).abs() < eps));
+        } else {
+            prop_assert!(pts.is_empty());
+        }
+    }
+
+    #[test]
+    fn disk_containment_consistent_with_distance(c in point_strategy(3.0), p in point_strategy(3.0)) {
+        let d = Disk::unit(c);
+        prop_assert_eq!(d.contains(p), c.dist_sq(p) <= 1.0 + mcds_geom::EPS);
+        if d.contains_strict(p) {
+            prop_assert!(d.contains(p));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Incremental graph construction.
+
+use crate::Graph;
+
+/// An incremental builder for [`Graph`].
+///
+/// Useful when edges are discovered one at a time (e.g. while scanning a
+/// spatial index).  Follows the non-consuming builder convention: mutating
+/// methods return `&mut Self`, and [`GraphBuilder::build`] reads the
+/// accumulated state.
+///
+/// ```
+/// use mcds_graph::GraphBuilder;
+/// let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// Validation (range, self-loops, duplicates) is deferred to
+    /// [`GraphBuilder::build`], so edges can be streamed in without
+    /// per-edge branching.
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Grows the node count to at least `n` (never shrinks).
+    pub fn ensure_nodes(&mut self, n: usize) -> &mut Self {
+        self.n = self.n.max(n);
+        self
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`Graph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any recorded edge is out of range or a self-loop (same
+    /// contract as [`Graph::from_edges`]).
+    pub fn build(&self) -> Graph {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_and_bulk_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edges([(1, 2), (2, 3)]);
+        assert_eq!(b.pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut b = GraphBuilder::new(2);
+        b.ensure_nodes(5).ensure_nodes(3);
+        assert_eq!(b.build().num_nodes(), 5);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let g = GraphBuilder::default().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_validates_range() {
+        GraphBuilder::new(1).edge(0, 1).build();
+    }
+}

@@ -1,0 +1,95 @@
+//! Graphviz DOT export.
+//!
+//! Handy for eyeballing small instances: dominators, connectors and plain
+//! nodes are colored differently so the two-phased structure is visible.
+
+use crate::{node_mask, Graph};
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Nodes drawn as filled "dominator" (phase-1) nodes.
+    pub dominators: Vec<usize>,
+    /// Nodes drawn as filled "connector" (phase-2) nodes.
+    pub connectors: Vec<usize>,
+    /// Optional `pos` attributes (x, y) per node, e.g. UDG coordinates.
+    pub positions: Vec<(f64, f64)>,
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// ```
+/// use mcds_graph::{Graph, dot::{to_dot, DotStyle}};
+/// let g = Graph::path(3);
+/// let dot = to_dot(&g, "demo", &DotStyle::default());
+/// assert!(dot.starts_with("graph demo {"));
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn to_dot(g: &Graph, name: &str, style: &DotStyle) -> String {
+    let n = g.num_nodes();
+    let dom = if style.dominators.is_empty() {
+        vec![false; n]
+    } else {
+        node_mask(n, &style.dominators)
+    };
+    let con = if style.connectors.is_empty() {
+        vec![false; n]
+    } else {
+        node_mask(n, &style.connectors)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for v in 0..n {
+        let mut attrs: Vec<String> = Vec::new();
+        if dom[v] {
+            attrs.push("style=filled fillcolor=black fontcolor=white".into());
+        } else if con[v] {
+            attrs.push("style=filled fillcolor=gray70".into());
+        }
+        if let Some(&(x, y)) = style.positions.get(v) {
+            attrs.push(format!("pos=\"{x:.4},{y:.4}!\""));
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {v};");
+        } else {
+            let _ = writeln!(out, "  {v} [{}];", attrs.join(" "));
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_export_lists_all_nodes_and_edges() {
+        let g = Graph::cycle(4);
+        let dot = to_dot(&g, "c4", &DotStyle::default());
+        for v in 0..4 {
+            assert!(dot.contains(&format!("  {v};")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn styled_export_marks_roles() {
+        let g = Graph::path(3);
+        let style = DotStyle {
+            dominators: vec![0],
+            connectors: vec![1],
+            positions: vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+        };
+        let dot = to_dot(&g, "p3", &style);
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("fillcolor=gray70"));
+        assert!(dot.contains("pos=\"1.0000,0.0000!\""));
+    }
+}

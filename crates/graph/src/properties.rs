@@ -1,0 +1,181 @@
+//! The defining predicates of the paper's objects: dominating sets,
+//! connected dominating sets, independent sets and maximal independent
+//! sets.
+//!
+//! Every algorithm crate verifies its outputs against these reference
+//! predicates, and the property-test suites assert them on random inputs.
+
+use crate::{node_mask, subsets, Graph};
+
+/// Returns `true` if `set` is a dominating set of `g`: every node outside
+/// `set` has at least one neighbor in `set`.
+///
+/// Note the empty set dominates the empty graph, and an isolated node can
+/// only be dominated by itself.
+///
+/// ```
+/// use mcds_graph::{Graph, properties::is_dominating_set};
+/// let g = Graph::star(5);
+/// assert!(is_dominating_set(&g, &[0]));
+/// assert!(!is_dominating_set(&g, &[1]));
+/// ```
+pub fn is_dominating_set(g: &Graph, set: &[usize]) -> bool {
+    let mask = node_mask(g.num_nodes(), set);
+    (0..g.num_nodes()).all(|v| mask[v] || g.neighbors_iter(v).any(|u| mask[u]))
+}
+
+/// Returns `true` if `set` is a *connected* dominating set (CDS) of `g`:
+/// dominating, and `G[set]` is connected.
+///
+/// The paper additionally requires a CDS to be non-empty whenever the graph
+/// has nodes (an empty set cannot dominate a non-empty graph, so this is
+/// implied except for the vacuous empty graph).
+pub fn is_connected_dominating_set(g: &Graph, set: &[usize]) -> bool {
+    let mask = node_mask(g.num_nodes(), set);
+    is_dominating_set(g, set) && subsets::is_connected_subset(g, &mask)
+}
+
+/// Returns `true` if `set` is an independent set of `g`: no two members
+/// are adjacent.
+pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+    let mask = node_mask(g.num_nodes(), set);
+    set.iter().all(|&v| g.neighbors_iter(v).all(|u| !mask[u]))
+}
+
+/// Returns `true` if `set` is a *maximal* independent set of `g`:
+/// independent, and every node outside has a neighbor inside (i.e. it is
+/// also a dominating set — the standard equivalence the two-phased
+/// algorithms rely on).
+pub fn is_maximal_independent_set(g: &Graph, set: &[usize]) -> bool {
+    is_independent_set(g, set) && is_dominating_set(g, set)
+}
+
+/// Returns `true` if `set` has the *2-hop separation* property within the
+/// connected graph `g`: for every member `u`, some other member lies at
+/// hop distance exactly 2 — unless `set` is a singleton.
+///
+/// The BFS-ordered first-fit MIS of the paper satisfies this (it is what
+/// makes Lemma 9 work: any two components of `G[I ∪ U]` can be bridged by
+/// a single connector).
+pub fn has_two_hop_separation(g: &Graph, set: &[usize]) -> bool {
+    if set.len() <= 1 {
+        return true;
+    }
+    let mask = node_mask(g.num_nodes(), set);
+    set.iter().all(|&u| {
+        // Some member at distance exactly 2: a neighbor's neighbor.
+        g.neighbors_iter(u).any(|w| {
+            g.neighbors_iter(w)
+                .any(|x| x != u && mask[x] && !g.has_edge(u, x))
+        })
+    })
+}
+
+/// Counts how many members of `set` dominate node `v` (closed-neighborhood
+/// membership).
+pub fn domination_count(g: &Graph, set: &[usize], v: usize) -> usize {
+    let mask = node_mask(g.num_nodes(), set);
+    let self_dom = usize::from(mask[v]);
+    self_dom + g.neighbors_iter(v).filter(|&u| mask[u]).count()
+}
+
+/// Verifies a CDS and explains the first violation found, for debuggable
+/// assertions in tests and the experiment harness.
+///
+/// Returns `Ok(())` for a valid CDS, or `Err(reason)` naming the violated
+/// property and a witness node.
+pub fn check_cds(g: &Graph, set: &[usize]) -> Result<(), String> {
+    let n = g.num_nodes();
+    if n > 0 && set.is_empty() {
+        return Err("empty set cannot dominate a non-empty graph".into());
+    }
+    let mask = node_mask(n, set);
+    for v in 0..n {
+        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
+            return Err(format!("node {v} is not dominated"));
+        }
+    }
+    if !subsets::is_connected_subset(g, &mask) {
+        return Err("induced subgraph is disconnected".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_on_star_and_path() {
+        let star = Graph::star(6);
+        assert!(is_dominating_set(&star, &[0]));
+        assert!(is_dominating_set(&star, &[0, 3]));
+        assert!(!is_dominating_set(&star, &[1, 2]));
+        let path = Graph::path(6);
+        assert!(is_dominating_set(&path, &[1, 4]));
+        assert!(!is_dominating_set(&path, &[1, 3])); // node 5 uncovered
+    }
+
+    #[test]
+    fn cds_needs_connectivity() {
+        let path = Graph::path(6);
+        assert!(is_dominating_set(&path, &[1, 4]));
+        assert!(!is_connected_dominating_set(&path, &[1, 4]));
+        assert!(is_connected_dominating_set(&path, &[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn independence_and_maximality() {
+        let cycle = Graph::cycle(6);
+        assert!(is_independent_set(&cycle, &[0, 2, 4]));
+        assert!(is_maximal_independent_set(&cycle, &[0, 2, 4]));
+        assert!(is_independent_set(&cycle, &[0, 3]));
+        assert!(is_maximal_independent_set(&cycle, &[0, 3])); // {0,3} dominates C6
+        assert!(!is_maximal_independent_set(&cycle, &[0])); // node 3 undominated
+        assert!(!is_independent_set(&cycle, &[0, 1]));
+        assert!(is_independent_set(&cycle, &[]));
+        assert!(!is_maximal_independent_set(&cycle, &[]));
+    }
+
+    #[test]
+    fn two_hop_separation() {
+        // Path of 5: MIS {0, 2, 4} has 2-hop separation.
+        let path = Graph::path(5);
+        assert!(has_two_hop_separation(&path, &[0, 2, 4]));
+        // {0, 3} on a path of 6: hop distance 3, no 2-hop neighbor for 0.
+        let path6 = Graph::path(6);
+        assert!(!has_two_hop_separation(&path6, &[0, 3]));
+        assert!(has_two_hop_separation(&path6, &[2]));
+        assert!(has_two_hop_separation(&path6, &[]));
+    }
+
+    #[test]
+    fn domination_count_examples() {
+        let star = Graph::star(5);
+        assert_eq!(domination_count(&star, &[0], 3), 1);
+        assert_eq!(domination_count(&star, &[0, 3], 3), 2);
+        assert_eq!(domination_count(&star, &[1, 2], 3), 0);
+    }
+
+    #[test]
+    fn check_cds_diagnostics() {
+        let path = Graph::path(5);
+        assert!(check_cds(&path, &[1, 2, 3]).is_ok());
+        let err = check_cds(&path, &[1, 3]).unwrap_err();
+        assert!(err.contains("disconnected"), "{err}");
+        let err2 = check_cds(&path, &[0, 1]).unwrap_err();
+        assert!(err2.contains("not dominated"), "{err2}");
+        let err3 = check_cds(&path, &[]).unwrap_err();
+        assert!(err3.contains("empty"), "{err3}");
+        assert!(check_cds(&Graph::empty(0), &[]).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        let g = Graph::empty(0);
+        assert!(is_dominating_set(&g, &[]));
+        assert!(is_connected_dominating_set(&g, &[]));
+        assert!(is_independent_set(&g, &[]));
+        assert!(is_maximal_independent_set(&g, &[]));
+    }
+}

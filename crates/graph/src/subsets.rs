@@ -1,0 +1,187 @@
+//! Induced-subgraph queries on node subsets.
+//!
+//! Section IV of the paper reasons about `q(U)` — the number of connected
+//! components of `G[I ∪ U]` — and about which components a candidate
+//! connector is adjacent to.  These queries are provided here over a
+//! membership mask, without materializing the induced subgraph.
+
+use crate::{DisjointSets, Graph};
+
+/// Number of connected components of the subgraph induced by the nodes
+/// with `mask[v] == true`.
+///
+/// This is the paper's `q(·)` (with the subset being `I ∪ U`).  Runs one
+/// DSU pass over the edges incident to the subset: `O(Σ_{v∈S} deg(v) α)`.
+///
+/// ```
+/// use mcds_graph::{Graph, subsets::count_components};
+/// let g = Graph::path(5);
+/// let mask = vec![true, false, true, true, false];
+/// assert_eq!(count_components(&g, &mask), 2); // {0} and {2,3}
+/// ```
+pub fn count_components(g: &Graph, mask: &[bool]) -> usize {
+    assert_eq!(
+        mask.len(),
+        g.num_nodes(),
+        "mask length must equal node count"
+    );
+    let mut dsu = DisjointSets::new(g.num_nodes());
+    let mut members = 0usize;
+    let mut merges = 0usize;
+    for v in 0..g.num_nodes() {
+        if !mask[v] {
+            continue;
+        }
+        members += 1;
+        for u in g.neighbors_iter(v) {
+            if u < v && mask[u] && dsu.union(u, v) {
+                merges += 1;
+            }
+        }
+    }
+    members - merges
+}
+
+/// Returns `true` if the subset given by `mask` induces a connected
+/// subgraph.  The empty subset and singletons are connected by convention.
+pub fn is_connected_subset(g: &Graph, mask: &[bool]) -> bool {
+    count_components(g, mask) <= 1
+}
+
+/// The distinct components of `G[mask]` adjacent to node `w`, identified
+/// by DSU representative, given a `dsu` that already reflects `G[mask]`.
+///
+/// Used by the greedy connector: the *gain* of `w` is
+/// `(number of adjacent components) − 1`.
+pub fn adjacent_components(
+    g: &Graph,
+    mask: &[bool],
+    dsu: &mut DisjointSets,
+    w: usize,
+) -> Vec<usize> {
+    let mut roots: Vec<usize> = g
+        .neighbors_iter(w)
+        .filter(|&u| mask[u])
+        .map(|u| dsu.find(u))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Builds a [`DisjointSets`] whose sets are exactly the components of
+/// `G[mask]` (non-members stay singletons).
+pub fn components_dsu(g: &Graph, mask: &[bool]) -> DisjointSets {
+    assert_eq!(
+        mask.len(),
+        g.num_nodes(),
+        "mask length must equal node count"
+    );
+    let mut dsu = DisjointSets::new(g.num_nodes());
+    for v in 0..g.num_nodes() {
+        if !mask[v] {
+            continue;
+        }
+        for u in g.neighbors_iter(v) {
+            if u < v && mask[u] {
+                dsu.union(u, v);
+            }
+        }
+    }
+    dsu
+}
+
+/// The open neighborhood of a subset: nodes outside `set` adjacent to at
+/// least one member.  Returned sorted.
+pub fn open_neighborhood(g: &Graph, set: &[usize]) -> Vec<usize> {
+    let mask = crate::node_mask(g.num_nodes(), set);
+    let mut out: Vec<usize> = Vec::new();
+    for &v in set {
+        for u in g.neighbors_iter(v) {
+            if !mask[u] {
+                out.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The closed neighborhood of a single node: `{v} ∪ N(v)`, sorted.
+pub fn closed_neighborhood(g: &Graph, v: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = g.neighbors_iter(v).collect();
+    out.push(v);
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts_on_path() {
+        let g = Graph::path(6);
+        assert_eq!(count_components(&g, &[false; 6]), 0);
+        assert_eq!(count_components(&g, &[true; 6]), 1);
+        let alt = [true, false, true, false, true, false];
+        assert_eq!(count_components(&g, &alt), 3);
+    }
+
+    #[test]
+    fn connected_subset_conventions() {
+        let g = Graph::path(4);
+        assert!(is_connected_subset(&g, &[false; 4]));
+        let single = crate::node_mask(4, &[2]);
+        assert!(is_connected_subset(&g, &single));
+        let split = crate::node_mask(4, &[0, 3]);
+        assert!(!is_connected_subset(&g, &split));
+        let joined = crate::node_mask(4, &[0, 1, 2, 3]);
+        assert!(is_connected_subset(&g, &joined));
+    }
+
+    #[test]
+    fn adjacent_components_counts_distinct() {
+        // Star: center 0, leaves 1..=4; subset = leaves -> 4 components,
+        // center adjacent to all 4.
+        let g = Graph::star(5);
+        let mask = crate::node_mask(5, &[1, 2, 3, 4]);
+        let mut dsu = components_dsu(&g, &mask);
+        let comps = adjacent_components(&g, &mask, &mut dsu, 0);
+        assert_eq!(comps.len(), 4);
+        // A leaf has no neighbors in the subset other than... none (its
+        // only neighbor is the center, not in subset).
+        let comps1 = adjacent_components(&g, &mask, &mut dsu, 0);
+        assert_eq!(comps1.len(), 4);
+    }
+
+    #[test]
+    fn components_dsu_matches_count() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6), (2, 3)]);
+        let mask = crate::node_mask(7, &[0, 1, 3, 4, 6]);
+        let mut dsu = components_dsu(&g, &mask);
+        // Components among {0,1,3,4,6}: {0,1}, {3,4}, {6}.
+        assert_eq!(count_components(&g, &mask), 3);
+        assert!(dsu.same_set(0, 1));
+        assert!(dsu.same_set(3, 4));
+        assert!(!dsu.same_set(1, 3));
+    }
+
+    #[test]
+    fn neighborhoods() {
+        let g = Graph::path(5);
+        assert_eq!(open_neighborhood(&g, &[2]), vec![1, 3]);
+        assert_eq!(open_neighborhood(&g, &[1, 2]), vec![0, 3]);
+        assert_eq!(open_neighborhood(&g, &[]), Vec::<usize>::new());
+        assert_eq!(closed_neighborhood(&g, 0), vec![0, 1]);
+        assert_eq!(closed_neighborhood(&g, 2), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn mask_length_checked() {
+        let g = Graph::path(3);
+        let _ = count_components(&g, &[true]);
+    }
+}

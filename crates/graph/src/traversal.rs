@@ -1,0 +1,590 @@
+//! Breadth-first search, spanning trees, components and distances.
+//!
+//! The paper's phase-1 MIS is selected "in the first-fit manner in the
+//! breadth-first-search ordering" of a rooted spanning tree `T`
+//! (Section III); [`BfsTree`] is exactly that object, carrying root,
+//! parents, levels and the BFS visit order.
+
+use crate::Graph;
+
+/// A rooted BFS spanning tree of (one component of) a graph.
+///
+/// * `parent[v]` is the BFS parent, `None` for the root and for nodes
+///   unreachable from it,
+/// * `level[v]` is the hop distance from the root (`usize::MAX` if
+///   unreachable),
+/// * `order` lists the reached nodes in BFS visit order (root first).
+///   Within a level, nodes are visited in increasing id — the tie-break
+///   the first-fit MIS uses.
+///
+/// ```
+/// use mcds_graph::{Graph, traversal::BfsTree};
+/// let g = Graph::path(4);
+/// let t = BfsTree::rooted_at(&g, 0);
+/// assert_eq!(t.level(3), Some(3));
+/// assert_eq!(t.parent(3), Some(2));
+/// assert_eq!(t.order(), &[0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    level: Vec<usize>,
+    order: Vec<usize>,
+}
+
+impl BfsTree {
+    /// Runs BFS from `root`.
+    ///
+    /// Parents are *canonical*: the parent of `v` is the minimum-id
+    /// neighbor one level closer to the root.  This makes the tree a pure
+    /// function of the graph and root — the property that lets the
+    /// distributed protocol in `mcds-distsim` reconstruct the identical
+    /// tree from purely local information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root ≥ g.num_nodes()`.
+    pub fn rooted_at(g: &Graph, root: usize) -> Self {
+        let n = g.num_nodes();
+        assert!(root < n, "root {root} out of range for n = {n}");
+        let mut parent = vec![None; n];
+        let mut level = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        level[root] = 0;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for u in g.neighbors_iter(v) {
+                if level[u] == usize::MAX {
+                    level[u] = level[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Canonical parents: min-id neighbor one level up.
+        for &v in &order {
+            if v == root {
+                continue;
+            }
+            parent[v] = g.neighbors_iter(v).find(|&u| level[u] + 1 == level[v]);
+        }
+        BfsTree {
+            root,
+            parent,
+            level,
+            order,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// BFS parent of `v` (`None` for the root or unreachable nodes).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Hop distance of `v` from the root, `None` if unreachable.
+    pub fn level(&self, v: usize) -> Option<usize> {
+        if self.level[v] == usize::MAX {
+            None
+        } else {
+            Some(self.level[v])
+        }
+    }
+
+    /// Nodes in BFS visit order (reached nodes only).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of nodes reached from the root.
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if every node of the graph was reached.
+    pub fn spans(&self, g: &Graph) -> bool {
+        self.reached() == g.num_nodes()
+    }
+
+    /// Nodes sorted by the rank `(level, id)` — the canonical first-fit
+    /// processing order of the paper's phase 1.  Unreachable nodes are
+    /// excluded.
+    pub fn rank_order(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.order.clone();
+        v.sort_by_key(|&x| (self.level[x], x));
+        v
+    }
+
+    /// The deepest level in the tree (eccentricity of the root), or `None`
+    /// if the tree reaches only the root.
+    pub fn depth(&self) -> usize {
+        self.order.iter().map(|&v| self.level[v]).max().unwrap_or(0)
+    }
+
+    /// Tree edges `(parent, child)` for all reached non-root nodes.
+    pub fn tree_edges(&self) -> Vec<(usize, usize)> {
+        self.order
+            .iter()
+            .filter_map(|&v| self.parent[v].map(|p| (p, v)))
+            .collect()
+    }
+}
+
+/// Connected components of a graph; each component is a sorted node list,
+/// and components are ordered by their smallest node.
+///
+/// ```
+/// use mcds_graph::{Graph, traversal::connected_components};
+/// let g = Graph::from_edges(5, [(0, 1), (3, 4)]);
+/// let comps = connected_components(&g);
+/// assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+/// ```
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for u in g.neighbors_iter(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// The largest connected component (sorted node list).  Returns an empty
+/// vector for the empty graph.  Ties are broken toward the component with
+/// the smallest minimum node id (the first found).
+pub fn largest_component(g: &Graph) -> Vec<usize> {
+    connected_components(g)
+        .into_iter()
+        .max_by(|a, b| a.len().cmp(&b.len()).then(b[0].cmp(&a[0])))
+        .unwrap_or_default()
+}
+
+/// Single-source shortest (hop) distances; `usize::MAX` marks unreachable
+/// nodes.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    let t = BfsTree::rooted_at(g, source);
+    (0..g.num_nodes())
+        .map(|v| t.level(v).unwrap_or(usize::MAX))
+        .collect()
+}
+
+/// Hop diameter of a connected graph: the largest shortest-path distance
+/// over all pairs, computed by `n` BFS runs (`O(nm)`).
+///
+/// Returns `None` if the graph is disconnected or has no nodes.
+///
+/// The CDS literature uses `γ_c(G) ≥ diam(G) − 1` as a cheap lower bound;
+/// the experiment harness relies on this function for it.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    for s in 0..n {
+        let d = bfs_distances(g, s);
+        for &x in &d {
+            if x == usize::MAX {
+                return None; // disconnected
+            }
+            best = best.max(x);
+        }
+    }
+    Some(best)
+}
+
+/// Eccentricity of every node (max hop distance to any other node), or
+/// `None` if the graph is disconnected or empty.  `O(n·m)`.
+pub fn eccentricities(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for s in 0..n {
+        let d = bfs_distances(g, s);
+        let mut ecc = 0usize;
+        for &x in &d {
+            if x == usize::MAX {
+                return None;
+            }
+            ecc = ecc.max(x);
+        }
+        out.push(ecc);
+    }
+    Some(out)
+}
+
+/// A center of the graph: a node of minimum eccentricity (smallest id on
+/// ties), or `None` if disconnected/empty.
+///
+/// Rooting the BFS phase at a center minimizes tree depth, which the E11
+/// ablation uses to probe root-choice sensitivity.
+pub fn graph_center(g: &Graph) -> Option<usize> {
+    let ecc = eccentricities(g)?;
+    (0..g.num_nodes()).min_by_key(|&v| (ecc[v], v))
+}
+
+/// The graph radius (minimum eccentricity), or `None` if
+/// disconnected/empty.
+pub fn radius(g: &Graph) -> Option<usize> {
+    eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
+}
+
+/// Articulation points (cut vertices) of the graph, sorted ascending —
+/// iterative Tarjan lowlink, `O(n + m)`.
+///
+/// In backbone terms these are the single points of failure: removing
+/// one disconnects its component.  The `node_failure` example and the
+/// robustness analyses use this.
+pub fn articulation_points(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: stack of (node, parent, neighbor cursor).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        let mut root_children = 0usize;
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(&mut (v, parent, ref mut cursor)) = stack.last_mut() {
+            if *cursor < g.degree(v) {
+                let u = g.neighbors(v)[*cursor] as usize;
+                *cursor += 1;
+                if disc[u] == usize::MAX {
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((u, v, 0));
+                } else if u != parent {
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if p != root && low[v] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root] = true;
+        }
+    }
+    (0..n).filter(|&v| is_cut[v]).collect()
+}
+
+/// Bridges (cut edges) of the graph as `(u, v)` pairs with `u < v`,
+/// sorted — iterative Tarjan lowlink, `O(n + m)`.
+///
+/// A bridge in a backbone is a link whose loss splits it; together with
+/// [`articulation_points`] this quantifies backbone fragility.
+pub fn bridges(g: &Graph) -> Vec<(usize, usize)> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut out = Vec::new();
+    let mut timer = 0usize;
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // (node, parent, cursor, parent_edge_used): graphs are simple, so
+        // one parent edge exists per child; skip it exactly once to keep
+        // parallel... simple graphs have no parallel edges, so skipping
+        // the single (child, parent) back-edge is correct.
+        let mut stack: Vec<(usize, usize, usize, bool)> = vec![(root, usize::MAX, 0, false)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(&mut (v, parent, ref mut cursor, ref mut skipped)) = stack.last_mut() {
+            if *cursor < g.degree(v) {
+                let u = g.neighbors(v)[*cursor] as usize;
+                *cursor += 1;
+                if u == parent && !*skipped {
+                    *skipped = true;
+                    continue;
+                }
+                if disc[u] == usize::MAX {
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push((u, v, 0, false));
+                } else {
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        out.push((p.min(v), p.max(v)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// DFS preorder from `source` (neighbors in sorted order).
+pub fn dfs_preorder(g: &Graph, source: usize) -> Vec<usize> {
+    let n = g.num_nodes();
+    assert!(source < n, "source {source} out of range");
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    // Explicit stack; push neighbors in reverse-sorted order so the
+    // smallest is popped first, matching recursive DFS with sorted lists.
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if seen[v] {
+            continue;
+        }
+        seen[v] = true;
+        out.push(v);
+        for u in g.neighbors(v).iter().rev() {
+            if !seen[*u as usize] {
+                stack.push(*u as usize);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_tree_on_path() {
+        let g = Graph::path(5);
+        let t = BfsTree::rooted_at(&g, 2);
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.level(0), Some(2));
+        assert_eq!(t.level(4), Some(2));
+        assert_eq!(t.parent(0), Some(1));
+        assert_eq!(t.parent(2), None);
+        assert_eq!(t.depth(), 2);
+        assert!(t.spans(&g));
+        assert_eq!(t.tree_edges().len(), 4);
+    }
+
+    #[test]
+    fn bfs_tree_unreachable_nodes() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let t = BfsTree::rooted_at(&g, 0);
+        assert_eq!(t.level(3), None);
+        assert_eq!(t.parent(3), None);
+        assert_eq!(t.reached(), 2);
+        assert!(!t.spans(&g));
+    }
+
+    #[test]
+    fn rank_order_sorts_by_level_then_id() {
+        // Star with center 3: levels are {3:0, others:1}.
+        let g = Graph::from_edges(4, [(3, 0), (3, 1), (3, 2)]);
+        let t = BfsTree::rooted_at(&g, 3);
+        assert_eq!(t.rank_order(), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_and_largest() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(largest_component(&g), vec![0, 1, 2]);
+        assert!(largest_component(&Graph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn distances_and_diameter() {
+        let g = Graph::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(diameter(&g), Some(3));
+        assert_eq!(diameter(&Graph::from_edges(3, [(0, 1)])), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn dfs_preorder_visits_once_in_sorted_tiebreak() {
+        let g = Graph::from_edges(5, [(0, 2), (0, 1), (1, 3), (2, 3), (3, 4)]);
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1); // smallest neighbor first
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_root_out_of_range() {
+        let _ = BfsTree::rooted_at(&Graph::empty(1), 1);
+    }
+
+    #[test]
+    fn articulation_points_of_named_families() {
+        // Path: all interior nodes are cuts.
+        assert_eq!(articulation_points(&Graph::path(5)), vec![1, 2, 3]);
+        // Cycle: 2-connected, no cuts.
+        assert!(articulation_points(&Graph::cycle(6)).is_empty());
+        // Star: the hub.
+        assert_eq!(articulation_points(&Graph::star(5)), vec![0]);
+        // Complete graph: none.
+        assert!(articulation_points(&Graph::complete(5)).is_empty());
+        // Two triangles sharing a vertex: the shared vertex.
+        let bowtie = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(articulation_points(&bowtie), vec![2]);
+        // Disconnected graph: per-component cuts.
+        let two_paths = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(articulation_points(&two_paths), vec![1, 4]);
+        assert!(articulation_points(&Graph::empty(3)).is_empty());
+    }
+
+    #[test]
+    fn bridges_of_named_families() {
+        // Path: every edge is a bridge.
+        assert_eq!(bridges(&Graph::path(4)), vec![(0, 1), (1, 2), (2, 3)]);
+        // Cycle: none.
+        assert!(bridges(&Graph::cycle(5)).is_empty());
+        // Star: every edge.
+        assert_eq!(bridges(&Graph::star(4)).len(), 3);
+        // Bowtie (two triangles sharing a vertex): none.
+        let bowtie = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert!(bridges(&bowtie).is_empty());
+        // Two triangles joined by one edge: exactly that edge.
+        let dumbbell =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(bridges(&dumbbell), vec![(2, 3)]);
+        assert!(bridges(&Graph::empty(3)).is_empty());
+    }
+
+    #[test]
+    fn bridges_match_brute_force() {
+        let mut s = 313u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..20 {
+            let n = 9;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 30 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            let fast = bridges(&g);
+            let base = connected_components(&g).len();
+            let brute: Vec<(usize, usize)> = g
+                .edges()
+                .filter(|&(u, v)| {
+                    let remaining: Vec<(usize, usize)> =
+                        g.edges().filter(|&e| e != (u, v)).collect();
+                    let h = Graph::from_edges(n, remaining);
+                    connected_components(&h).len() > base
+                })
+                .collect();
+            assert_eq!(fast, brute, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn articulation_matches_brute_force() {
+        // Brute force: v is a cut iff removing it increases the component
+        // count among the remaining nodes of its component.
+        let mut s = 777u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..25 {
+            let n = 10;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 28 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            let fast = articulation_points(&g);
+            let base_comps = connected_components(&g).len();
+            let brute: Vec<usize> = (0..n)
+                .filter(|&v| {
+                    if g.degree(v) == 0 {
+                        return false;
+                    }
+                    let keep: Vec<usize> = (0..n).filter(|&u| u != v).collect();
+                    let (sub, _) = g.induced_subgraph(&keep);
+                    // Removing v removes one node; if v was a cut, the
+                    // component count (ignoring v's own loss) grows.
+                    connected_components(&sub).len() > base_comps
+                })
+                .collect();
+            assert_eq!(fast, brute, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn eccentricities_center_radius() {
+        let g = Graph::path(7);
+        let ecc = eccentricities(&g).unwrap();
+        assert_eq!(ecc, vec![6, 5, 4, 3, 4, 5, 6]);
+        assert_eq!(graph_center(&g), Some(3));
+        assert_eq!(radius(&g), Some(3));
+        assert_eq!(diameter(&g), Some(6));
+        // Disconnected and empty.
+        assert_eq!(eccentricities(&Graph::from_edges(3, [(0, 1)])), None);
+        assert_eq!(graph_center(&Graph::empty(0)), None);
+        assert_eq!(radius(&Graph::empty(1)), Some(0));
+        // Star center.
+        assert_eq!(graph_center(&Graph::star(6)), Some(0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the graph substrate, over random edge lists.
+
+use mcds_graph::{
+    node_mask, node_set, properties, subsets,
+    traversal::{bfs_distances, connected_components, BfsTree},
+    DisjointSets, Graph, GraphBuilder,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with up to `max_n` nodes.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3)).prop_map(move |pairs| {
+            let edges = pairs.into_iter().filter(|(u, v)| u != v);
+            Graph::from_edges(n, edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn edge_iterator_agrees_with_has_edge(g in graph_strategy(24)) {
+        let mut count = 0usize;
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+            count += 1;
+        }
+        prop_assert_eq!(count, g.num_edges());
+        let degree_sum: usize = (0..g.num_nodes()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn components_partition_nodes(g in graph_strategy(24)) {
+        let comps = connected_components(&g);
+        let all: Vec<usize> = comps.iter().flatten().copied().collect();
+        prop_assert_eq!(node_set(all), (0..g.num_nodes()).collect::<Vec<_>>());
+        // No edges cross components.
+        for (u, v) in g.edges() {
+            let cu = comps.iter().position(|c| c.contains(&u));
+            let cv = comps.iter().position(|c| c.contains(&v));
+            prop_assert_eq!(cu, cv);
+        }
+    }
+
+    #[test]
+    fn dsu_components_match_traversal(g in graph_strategy(24)) {
+        let mut dsu = DisjointSets::new(g.num_nodes());
+        for (u, v) in g.edges() {
+            dsu.union(u, v);
+        }
+        prop_assert_eq!(dsu.num_sets(), connected_components(&g).len());
+    }
+
+    #[test]
+    fn bfs_levels_are_consistent(g in graph_strategy(24)) {
+        let t = BfsTree::rooted_at(&g, 0);
+        // Edge levels differ by at most 1 within the reached set.
+        for (u, v) in g.edges() {
+            if let (Some(lu), Some(lv)) = (t.level(u), t.level(v)) {
+                prop_assert!(lu.abs_diff(lv) <= 1);
+            }
+        }
+        // Parent is one level up and adjacent.
+        for v in 0..g.num_nodes() {
+            if let Some(p) = t.parent(v) {
+                prop_assert!(g.has_edge(p, v));
+                prop_assert_eq!(t.level(p).unwrap() + 1, t.level(v).unwrap());
+                // Canonical: p is the min-id neighbor one level up.
+                let min_up = g.neighbors_iter(v)
+                    .filter(|&u| t.level(u) == Some(t.level(v).unwrap() - 1))
+                    .min();
+                prop_assert_eq!(Some(p), min_up);
+            }
+        }
+        // bfs_distances agrees with tree levels.
+        let d = bfs_distances(&g, 0);
+        for (v, &dist) in d.iter().enumerate() {
+            prop_assert_eq!(t.level(v).unwrap_or(usize::MAX), dist);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_subset(g in graph_strategy(20), keep_bits in proptest::collection::vec(any::<bool>(), 20)) {
+        let keep: Vec<usize> = (0..g.num_nodes()).filter(|&v| keep_bits[v]).collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.num_nodes(), keep.len());
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(map[a], map[b]));
+        }
+        // Every internal edge of the kept set survives.
+        let mask = node_mask(g.num_nodes(), &keep);
+        let internal = g.edges().filter(|&(u, v)| mask[u] && mask[v]).count();
+        prop_assert_eq!(internal, sub.num_edges());
+    }
+
+    #[test]
+    fn count_components_matches_induced_graph(g in graph_strategy(20), keep_bits in proptest::collection::vec(any::<bool>(), 20)) {
+        let mask: Vec<bool> = (0..g.num_nodes()).map(|v| keep_bits[v]).collect();
+        let keep: Vec<usize> = (0..g.num_nodes()).filter(|&v| mask[v]).collect();
+        let (sub, _) = g.induced_subgraph(&keep);
+        prop_assert_eq!(
+            subsets::count_components(&g, &mask),
+            connected_components(&sub).len()
+        );
+    }
+
+    #[test]
+    fn mis_predicates_are_consistent(g in graph_strategy(20)) {
+        // Build a maximal independent set greedily and check the predicate
+        // algebra: MIS => independent and dominating.
+        let mut mis: Vec<usize> = Vec::new();
+        let mut blocked = vec![false; g.num_nodes()];
+        for v in 0..g.num_nodes() {
+            if !blocked[v] {
+                mis.push(v);
+                blocked[v] = true;
+                for u in g.neighbors_iter(v) {
+                    blocked[u] = true;
+                }
+            }
+        }
+        prop_assert!(properties::is_independent_set(&g, &mis));
+        prop_assert!(properties::is_dominating_set(&g, &mis));
+        prop_assert!(properties::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn builder_equals_direct_construction(n in 2usize..20, pairs in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+        let edges: Vec<(usize, usize)> = pairs
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let direct = Graph::from_edges(n, edges.iter().copied());
+        let mut b = GraphBuilder::new(n);
+        b.edges(edges);
+        prop_assert_eq!(direct, b.build());
+    }
+}

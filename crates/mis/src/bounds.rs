@@ -1,0 +1,152 @@
+//! The paper's numeric bounds, as checkable constants and functions.
+//!
+//! Everything here is a pure formula; the experiment harness (E3–E5)
+//! evaluates them against measured `α`, `γ_c` and CDS sizes.
+
+/// Coefficient of the paper's independence bound: `α(G) ≤ 11/3·γ_c(G) + 1`
+/// (Corollary 7).
+pub const ALPHA_COEFF: f64 = 11.0 / 3.0;
+
+/// Additive constant of Corollary 7.
+pub const ALPHA_CONST: f64 = 1.0;
+
+/// The paper's bound on the WAF algorithm (Theorem 8):
+/// `|I ∪ C| ≤ 7⅓·γ_c`.
+pub const WAF_RATIO: f64 = 22.0 / 3.0;
+
+/// The paper's bound on the new greedy algorithm (Theorem 10):
+/// `|I ∪ C| ≤ 6 7/18·γ_c`.
+pub const GREEDY_RATIO: f64 = 115.0 / 18.0;
+
+/// Corollary 7's bound on the independence number given the connected
+/// domination number, for connected UDGs with at least 2 nodes.
+///
+/// ```
+/// assert_eq!(mcds_mis::bounds::alpha_upper_bound(3), 12.0);
+/// ```
+pub fn alpha_upper_bound(gamma_c: usize) -> f64 {
+    ALPHA_COEFF * gamma_c as f64 + ALPHA_CONST
+}
+
+/// The prior bound `α ≤ 4·γ_c + 1` of Wan–Alzoubi–Frieder \[10\], which
+/// Corollary 7 improves.
+pub fn alpha_upper_bound_waf2004(gamma_c: usize) -> f64 {
+    4.0 * gamma_c as f64 + 1.0
+}
+
+/// The prior bound `α ≤ 3.8·γ_c + 1.2` of Wu et al. \[12\], which
+/// Corollary 7 improves.
+pub fn alpha_upper_bound_wu2006(gamma_c: usize) -> f64 {
+    3.8 * gamma_c as f64 + 1.2
+}
+
+/// The conjectured bound `α ≤ 3·γ_c + 3` from the paper's Section V
+/// (implied by the conjecture that `3(n+1)` is the worst packing for
+/// connected sets of `n ≥ 3` points) — *not* a proven result.
+pub fn alpha_conjectured_bound(gamma_c: usize) -> f64 {
+    3.0 * gamma_c as f64 + 3.0
+}
+
+/// The unproven `α ≤ 3.453·γ_c + 8.291` claim of Funke et al. \[7\] that
+/// Section V demotes to a conjecture.
+pub fn alpha_claimed_funke(gamma_c: usize) -> f64 {
+    3.453 * gamma_c as f64 + 8.291
+}
+
+/// Theorem 8's guarantee on the WAF CDS size for a given `γ_c`
+/// (`γ_c ≥ 1`).  The paper remarks the sharper `7⅓·γ_c − 1` also holds;
+/// we report the headline bound.
+pub fn waf_size_bound(gamma_c: usize) -> f64 {
+    WAF_RATIO * gamma_c as f64
+}
+
+/// Theorem 10's guarantee on the greedy CDS size for a given `γ_c`.
+pub fn greedy_size_bound(gamma_c: usize) -> f64 {
+    GREEDY_RATIO * gamma_c as f64
+}
+
+/// The pre-paper WAF bound `|I ∪ C| ≤ 8·γ_c − 1` from \[10\].
+pub fn waf_size_bound_2004(gamma_c: usize) -> f64 {
+    8.0 * gamma_c as f64 - 1.0
+}
+
+/// The intermediate WAF bound `|I ∪ C| ≤ 7.6·γ_c + 1.4` from \[12\].
+pub fn waf_size_bound_2006(gamma_c: usize) -> f64 {
+    7.6 * gamma_c as f64 + 1.4
+}
+
+/// A cheap lower bound on `γ_c` from the hop diameter:
+/// `γ_c ≥ diam(G) − 1` (a CDS must contain an internal path between the
+/// two endpoints of any diametral pair).
+pub fn gamma_lower_bound_from_diameter(diam: usize) -> usize {
+    diam.saturating_sub(1)
+}
+
+/// The paper's own inverse bound: from `α(G) ≤ 11/3·γ_c + 1` it follows
+/// that `γ_c ≥ ⌈3(α − 1)/11⌉`.  Useful as a `γ_c` lower bound on graphs
+/// too large for the exact solver, given any independent set of size
+/// `alpha` (a lower bound on `α` suffices).
+pub fn gamma_lower_bound_from_alpha(alpha: usize) -> usize {
+    if alpha <= 1 {
+        // A single node can dominate everything.
+        usize::from(alpha == 1)
+    } else {
+        (3 * (alpha - 1)).div_ceil(11)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_improves_prior_bounds() {
+        for gc in 1..100 {
+            assert!(alpha_upper_bound(gc) < alpha_upper_bound_wu2006(gc));
+            assert!(alpha_upper_bound(gc) < alpha_upper_bound_waf2004(gc));
+            assert!(waf_size_bound(gc) < waf_size_bound_2006(gc));
+            // The 2004 bound is 8γ−1; the paper's 7⅓γ beats it from γ≥2.
+            if gc >= 2 {
+                assert!(waf_size_bound(gc) < waf_size_bound_2004(gc));
+            }
+            assert!(greedy_size_bound(gc) < waf_size_bound(gc));
+        }
+    }
+
+    #[test]
+    fn headline_constants() {
+        assert!((WAF_RATIO - 7.0 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((GREEDY_RATIO - 6.0 - 7.0 / 18.0).abs() < 1e-12);
+        assert!((alpha_upper_bound(1) - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_lower_bounds() {
+        assert_eq!(gamma_lower_bound_from_diameter(0), 0);
+        assert_eq!(gamma_lower_bound_from_diameter(1), 0);
+        assert_eq!(gamma_lower_bound_from_diameter(5), 4);
+        assert_eq!(gamma_lower_bound_from_alpha(0), 0);
+        assert_eq!(gamma_lower_bound_from_alpha(1), 1);
+        // α = 12 -> γ_c ≥ ⌈33/11⌉ = 3.
+        assert_eq!(gamma_lower_bound_from_alpha(12), 3);
+        // Inverse consistency: γ_c from the bound never exceeds the γ
+        // that generated α at the bound.
+        for gc in 1..50usize {
+            let alpha = alpha_upper_bound(gc).floor() as usize;
+            assert!(gamma_lower_bound_from_alpha(alpha) <= gc);
+        }
+    }
+
+    #[test]
+    fn conjectured_bounds_are_looser_than_nothing() {
+        // The Section-V conjecture matches Corollary 7 at γ_c = 3 and is
+        // strictly stronger (smaller) beyond.
+        assert_eq!(alpha_conjectured_bound(3), alpha_upper_bound(3));
+        for gc in 4..50 {
+            assert!(alpha_conjectured_bound(gc) < alpha_upper_bound(gc));
+        }
+        // Funke et al.'s claim beats Corollary 7 only for large γ_c.
+        assert!(alpha_claimed_funke(2) > alpha_upper_bound(2));
+        assert!(alpha_claimed_funke(50) < alpha_upper_bound(50));
+    }
+}

@@ -1,0 +1,336 @@
+//! The tightness constructions of the paper's Section V (Figures 1 and 2).
+//!
+//! * [`fig1_two_star`] — 8 independent points in the neighborhood of a
+//!   2-star (matching `φ(2) = 8`),
+//! * [`fig1_three_star`] — 12 independent points in the neighborhood of a
+//!   3-star (matching `φ(3) = 12`),
+//! * [`fig2_chain`] — `3(n+1)` independent points in the neighborhood of
+//!   `n ≥ 3` collinear points with consecutive distance one (the paper's
+//!   conjectured worst case).
+//!
+//! The paper's constructions are tight *in the limit*: they depend on "a
+//! very small positive parameter ε", and several pairwise distances exceed
+//! one only by `Θ(ε²)` or `Θ(ε⁴)` terms.  We therefore use a two-level
+//! parameter hierarchy — a boundary-nudge angle `ν = ε²/4` subordinate to
+//! the main offset `ε` — chosen so that every pairwise distance exceeds
+//! one by a margin representable in `f64` for `ε ∈ (0, 0.05]`.  Tests
+//! verify all constraints exactly (strict independence, neighborhood
+//! membership, advertised cardinality) across a range of ε.
+//!
+//! Geometry of the arc groups (both figures): around an *end* point `e` of
+//! the set, four independent points sit on the boundary circle `∂D_e` at
+//! angles `±(90° + ν)` and `±(30° + ν/3)` from the outward direction —
+//! consecutive angular gaps of `60° + 2ν/3`, whose chords `2·sin(30° +
+//! ν/3)` exceed one.  The extreme points lean `ν` past the vertical
+//! diameter (the paper: "p₁ lies on the proper left side of the vertical
+//! diameter of D₁"), which is what keeps them independent from the
+//! near-top interior points at height `1 − Θ(ε)`.
+
+use mcds_geom::packing::{is_independent, min_pairwise_distance};
+use mcds_geom::{neighborhood_contains, Point};
+use mcds_udg::Udg;
+
+/// A tightness instance: the structured set `V` (star or chain) and the
+/// independent points packed into its neighborhood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Construction {
+    /// The structured point set (`S` or `V` in the paper).
+    pub set: Vec<Point>,
+    /// The independent points packed in the neighborhood of `set`.
+    pub independent: Vec<Point>,
+    /// The count the construction advertises (`φ(n)` or `3(n+1)`).
+    pub advertised: usize,
+}
+
+impl Construction {
+    /// Verifies every claim of the construction:
+    ///
+    /// 1. `set` induces a connected UDG,
+    /// 2. `independent` is strictly independent (pairwise distance > 1),
+    /// 3. every independent point lies in the unit-disk neighborhood of
+    ///    `set`,
+    /// 4. the number of independent points equals the advertised count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message identifying the first violated claim.
+    pub fn verify(&self) -> Result<(), String> {
+        if !Udg::build(self.set.clone()).graph().is_connected() {
+            return Err("construction set is not connected".into());
+        }
+        if !is_independent(&self.independent, 0.0) {
+            let d = min_pairwise_distance(&self.independent).unwrap_or(f64::INFINITY);
+            return Err(format!(
+                "points are not strictly independent (min pairwise distance {d})"
+            ));
+        }
+        for (i, &p) in self.independent.iter().enumerate() {
+            if !neighborhood_contains(&self.set, p) {
+                return Err(format!(
+                    "independent point {i} ({p}) escapes the neighborhood"
+                ));
+            }
+        }
+        if self.independent.len() != self.advertised {
+            return Err(format!(
+                "advertised {} independent points but constructed {}",
+                self.advertised,
+                self.independent.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Smallest pairwise distance among the independent points (the
+    /// tightness margin is this value minus one).
+    pub fn margin(&self) -> f64 {
+        min_pairwise_distance(&self.independent).unwrap_or(f64::INFINITY) - 1.0
+    }
+}
+
+fn check_eps(eps: f64) {
+    assert!(
+        eps > 0.0 && eps <= 0.05,
+        "construction parameter eps must lie in (0, 0.05], got {eps}"
+    );
+}
+
+/// The four arc points around an end point `e`, facing direction `dir`
+/// (`+1.0` for rightward, `-1.0` for leftward), with nudge angle `nu`.
+fn end_arc(e: Point, dir: f64, nu: f64) -> Vec<Point> {
+    let base = if dir >= 0.0 {
+        0.0
+    } else {
+        std::f64::consts::PI
+    };
+    let sign = if dir >= 0.0 { 1.0 } else { -1.0 };
+    // Angles relative to the outward direction: ±(90° + ν), ±(30° + ν/3).
+    let half = std::f64::consts::FRAC_PI_2 + nu;
+    let third = std::f64::consts::FRAC_PI_6 + nu / 3.0;
+    [half, third, -third, -half]
+        .iter()
+        .map(|&a| Point::polar(e, 1.0, base + sign * a))
+        .collect()
+}
+
+/// The central group of Fig. 1: `I₀ = {v₁, w₁, v₂, w₂}` around the origin.
+fn fig1_center_group(eps: f64) -> Vec<Point> {
+    vec![
+        Point::new(0.5, eps),          // v₁
+        Point::new(0.0, 1.0 - eps),    // w₁
+        Point::new(-0.5, -eps),        // v₂
+        Point::new(0.0, -(1.0 - eps)), // w₂
+    ]
+}
+
+/// Fig. 1 (left): 8 independent points in the neighborhood of the 2-star
+/// `{o, u₁}` with `o = (0,0)`, `u₁ = (1,0)`.
+///
+/// # Panics
+///
+/// Panics if `eps ∉ (0, 0.05]`.
+///
+/// ```
+/// let c = mcds_mis::constructions::fig1_two_star(0.02);
+/// c.verify().unwrap();
+/// assert_eq!(c.independent.len(), 8); // φ(2) = 8 is achievable
+/// ```
+pub fn fig1_two_star(eps: f64) -> Construction {
+    check_eps(eps);
+    let nu = eps * eps / 4.0;
+    let o = Point::ORIGIN;
+    let u1 = Point::new(1.0, 0.0);
+    let mut independent = fig1_center_group(eps);
+    independent.extend(end_arc(u1, 1.0, nu));
+    Construction {
+        set: vec![o, u1],
+        independent,
+        advertised: 8,
+    }
+}
+
+/// Fig. 1 (right): 12 independent points in the neighborhood of the
+/// 3-star `{o, u₁, u₂}` with `u₁ = (1,0)`, `u₂ = (−1,0)`.
+///
+/// # Panics
+///
+/// Panics if `eps ∉ (0, 0.05]`.
+///
+/// ```
+/// let c = mcds_mis::constructions::fig1_three_star(0.02);
+/// c.verify().unwrap();
+/// assert_eq!(c.independent.len(), 12); // φ(3) = 12 is achievable
+/// ```
+pub fn fig1_three_star(eps: f64) -> Construction {
+    check_eps(eps);
+    let nu = eps * eps / 4.0;
+    let o = Point::ORIGIN;
+    let u1 = Point::new(1.0, 0.0);
+    let u2 = Point::new(-1.0, 0.0);
+    let mut independent = fig1_center_group(eps);
+    independent.extend(end_arc(u1, 1.0, nu));
+    independent.extend(end_arc(u2, -1.0, nu));
+    Construction {
+        set: vec![o, u1, u2],
+        independent,
+        advertised: 12,
+    }
+}
+
+/// Fig. 2: `3(n+1)` independent points in the neighborhood of the chain
+/// `u_i = (i, 0)`, `i = 0..n`, of `n ≥ 3` unit-spaced collinear points.
+///
+/// Layout (all margins verified by [`Construction::verify`]):
+/// * `n − 1` zig-zag points at edge midpoints `(i + ½, ±ε)`,
+/// * `n − 2` "top" points `(i, 1 − ε(1 + iε))` over interior vertices —
+///   the strictly decreasing heights make consecutive tops more than one
+///   apart (`√(1 + ε⁴)`),
+/// * `n − 2` mirrored "bottom" points,
+/// * 4 + 4 arc points around the two end vertices.
+///
+/// Total `(n−1) + 2(n−2) + 8 = 3n + 3 = 3(n+1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (the paper's Fig. 2 starts at `n = 3`; for `n = 2`
+/// the right object is [`fig1_two_star`]) or if `eps ∉ (0, 0.05]`.
+///
+/// ```
+/// let c = mcds_mis::constructions::fig2_chain(7, 0.02);
+/// c.verify().unwrap();
+/// assert_eq!(c.independent.len(), 24); // 3(7+1)
+/// ```
+pub fn fig2_chain(n: usize, eps: f64) -> Construction {
+    assert!(n >= 3, "fig2_chain requires n >= 3, got {n}");
+    check_eps(eps);
+    let nu = eps * eps / 4.0;
+    let set: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+    let mut independent = Vec::with_capacity(3 * n + 3);
+    // Zig-zag midpoints.
+    for i in 0..(n - 1) {
+        let sigma = if i % 2 == 0 { 1.0 } else { -1.0 };
+        independent.push(Point::new(i as f64 + 0.5, sigma * eps));
+    }
+    // Interior tops and bottoms at strictly distinct heights.
+    for i in 1..(n - 1) {
+        let h = 1.0 - eps * (1.0 + i as f64 * eps);
+        independent.push(Point::new(i as f64, h));
+        independent.push(Point::new(i as f64, -h));
+    }
+    // End arcs.
+    independent.extend(end_arc(set[n - 1], 1.0, nu));
+    independent.extend(end_arc(set[0], -1.0, nu));
+    Construction {
+        set,
+        independent,
+        advertised: 3 * (n + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_geom::packing::{connected_set_bound, phi};
+
+    const EPS_GRID: [f64; 4] = [0.005, 0.01, 0.02, 0.05];
+
+    #[test]
+    fn two_star_achieves_phi_2() {
+        for &e in &EPS_GRID {
+            let c = fig1_two_star(e);
+            c.verify().unwrap_or_else(|msg| panic!("eps={e}: {msg}"));
+            assert_eq!(c.independent.len(), phi(2));
+            assert!(c.margin() > 0.0);
+        }
+    }
+
+    #[test]
+    fn three_star_achieves_phi_3() {
+        for &e in &EPS_GRID {
+            let c = fig1_three_star(e);
+            c.verify().unwrap_or_else(|msg| panic!("eps={e}: {msg}"));
+            assert_eq!(c.independent.len(), phi(3));
+        }
+    }
+
+    #[test]
+    fn chains_achieve_three_n_plus_three() {
+        for n in 3..32 {
+            let c = fig2_chain(n, 0.02);
+            c.verify().unwrap_or_else(|msg| panic!("n={n}: {msg}"));
+            assert_eq!(c.independent.len(), 3 * (n + 1));
+            // Theorem 6 upper bound is respected but nearly met:
+            // 3n + 3 ≤ 11n/3 + 1 with slack (2n/3 − 2)/1.
+            assert!(c.independent.len() as f64 <= connected_set_bound(n));
+        }
+    }
+
+    #[test]
+    fn chain_margin_shrinks_with_eps() {
+        // The construction is tight in the limit: the margin above 1 must
+        // shrink as eps shrinks.
+        let big = fig2_chain(6, 0.05).margin();
+        let small = fig2_chain(6, 0.005).margin();
+        assert!(
+            big > small,
+            "margins: eps=0.05 -> {big}, eps=0.005 -> {small}"
+        );
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn constructions_sit_tight_against_theorem3() {
+        // φ(2) and φ(3) are achieved exactly; adding ANY extra unit-disk
+        // worth of slack would violate Theorem 3, so the counts match phi.
+        let c2 = fig1_two_star(0.02);
+        let c3 = fig1_three_star(0.02);
+        assert_eq!(c2.independent.len(), phi(c2.set.len()));
+        assert_eq!(c3.independent.len(), phi(c3.set.len()));
+    }
+
+    #[test]
+    fn theorem3_oracle_agrees_with_constructions() {
+        let c = fig1_three_star(0.02);
+        let check = crate::packing::check_theorem3(c.set[0], &c.set, &c.independent, 0.0).unwrap();
+        assert_eq!(check.count, 12);
+        assert!(check.holds);
+        assert_eq!(check.bound, 12.0);
+    }
+
+    #[test]
+    fn theorem6_oracle_agrees_with_chain() {
+        let c = fig2_chain(9, 0.02);
+        let check = crate::packing::check_theorem6(&c.set, &c.independent, 0.0).unwrap();
+        assert_eq!(check.count, 30);
+        assert!(check.holds);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn eps_out_of_range_panics() {
+        let _ = fig1_two_star(0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn short_chain_panics() {
+        let _ = fig2_chain(2, 0.02);
+    }
+
+    #[test]
+    fn verify_catches_tampering() {
+        let mut c = fig1_two_star(0.02);
+        c.independent.push(Point::new(0.55, eps_tamper()));
+        assert!(c.verify().is_err()); // cardinality + independence break
+        let mut c2 = fig1_two_star(0.02);
+        c2.advertised = 9;
+        assert!(c2.verify().unwrap_err().contains("advertised"));
+        let mut c3 = fig1_two_star(0.02);
+        c3.independent[0] = Point::new(50.0, 50.0);
+        assert!(c3.verify().unwrap_err().contains("escapes"));
+    }
+
+    fn eps_tamper() -> f64 {
+        0.021
+    }
+}

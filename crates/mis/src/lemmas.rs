@@ -1,0 +1,196 @@
+//! Empirical checkers for the appendix lemmas (Lemma 1 and Lemma 2).
+//!
+//! The paper's improved bounds rest on two geometric packing facts proved
+//! in its appendix:
+//!
+//! * **Lemma 1** — if `ou ≤ 1` then `|I(o) △ I(u)| ≤ 7` for any
+//!   independent `I` (the trivial argument only gives 8),
+//! * **Lemma 2** — if `{u₁,u₂,u₃} ⊂ D_o` and some independent point of
+//!   `I(o) \ {o}` escapes all three `I(u_j)`, then
+//!   `|⋃ I(u_j) \ I(o)| ≤ 11` (the trivial bound is 12).
+//!
+//! These are theorems, not conjectures; the checkers here *stress* them
+//! with randomized packings (experiment E9) — a reproduction cannot
+//! re-prove geometry, but it can hammer the inequality with millions of
+//! adversarial candidates and measure how close the extremes come.
+
+use mcds_geom::packing::greedy_pack;
+use mcds_geom::{Disk, Point};
+
+/// Outcome of one randomized stress run against a lemma.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemmaStress {
+    /// Largest value of the bounded quantity observed.
+    pub observed_max: usize,
+    /// The lemma's bound.
+    pub bound: usize,
+    /// Number of packings tried.
+    pub trials: usize,
+}
+
+impl LemmaStress {
+    /// Whether every trial respected the bound.
+    pub fn holds(&self) -> bool {
+        self.observed_max <= self.bound
+    }
+}
+
+/// `|I(o) △ I(u)|` for a concrete independent set.
+pub fn symmetric_difference_count(o: Point, u: Point, independent: &[Point]) -> usize {
+    let do_ = Disk::unit(o);
+    let du = Disk::unit(u);
+    independent
+        .iter()
+        .filter(|&&p| do_.contains(p) != du.contains(p))
+        .count()
+}
+
+/// Stresses Lemma 1: for `trials` random center distances and candidate
+/// shuffles (driven by `rand01`, a uniform-[0,1) source), packs an
+/// independent set around the pair `o = (0,0)`, `u = (d, 0)` and measures
+/// the symmetric difference.
+///
+/// `rand01` keeps this crate RNG-free; pass a closure over your seeded
+/// generator.
+pub fn stress_lemma1<F: FnMut() -> f64>(trials: usize, mut rand01: F) -> LemmaStress {
+    let mut observed_max = 0usize;
+    for _ in 0..trials {
+        let d = 0.05 + 0.95 * rand01();
+        let o = Point::ORIGIN;
+        let u = Point::new(d, 0.0);
+        // Candidates concentrated in D_o ∪ D_u, where the symmetric
+        // difference lives; bias toward the lens boundaries.
+        let mut candidates = Vec::with_capacity(260);
+        for _ in 0..260 {
+            let around = if rand01() < 0.5 { o } else { u };
+            let r = (rand01()).sqrt(); // area-uniform radius in the disk
+            let theta = rand01() * std::f64::consts::TAU;
+            candidates.push(Point::polar(around, r, theta));
+        }
+        let independent = greedy_pack(&candidates);
+        observed_max = observed_max.max(symmetric_difference_count(o, u, &independent));
+    }
+    LemmaStress {
+        observed_max,
+        bound: 7,
+        trials,
+    }
+}
+
+/// `|⋃_j I(u_j) \ I(o)|` for a concrete configuration.
+pub fn union_minus_center_count(o: Point, us: &[Point; 3], independent: &[Point]) -> usize {
+    let do_ = Disk::unit(o);
+    independent
+        .iter()
+        .filter(|&&p| !do_.contains(p) && us.iter().any(|&u| Disk::unit(u).contains(p)))
+        .count()
+}
+
+/// Whether Lemma 2's hypothesis holds: some independent point other than
+/// `o` lies in `D_o` but escapes every `D_{u_j}`.
+pub fn lemma2_hypothesis(o: Point, us: &[Point; 3], independent: &[Point]) -> bool {
+    let do_ = Disk::unit(o);
+    independent.iter().any(|&p| {
+        p.dist(o) > 1e-12 && do_.contains(p) && us.iter().all(|&u| !Disk::unit(u).contains(p))
+    })
+}
+
+/// Stresses Lemma 2 with random star configurations and packings.
+///
+/// Only trials satisfying the lemma's hypothesis count toward the
+/// maximum; the returned `trials` is the number of *qualifying* trials.
+pub fn stress_lemma2<F: FnMut() -> f64>(trials: usize, mut rand01: F) -> LemmaStress {
+    let mut observed_max = 0usize;
+    let mut qualifying = 0usize;
+    for _ in 0..trials {
+        let o = Point::ORIGIN;
+        let mut us = [Point::ORIGIN; 3];
+        for slot in &mut us {
+            let r = 0.3 + 0.7 * rand01();
+            let theta = rand01() * std::f64::consts::TAU;
+            *slot = Point::polar(o, r, theta);
+        }
+        let mut candidates = Vec::with_capacity(360);
+        for _ in 0..360 {
+            let pick = (rand01() * 4.0) as usize;
+            let around = if pick == 0 { o } else { us[pick.min(3) - 1] };
+            let r = (rand01()).sqrt();
+            let theta = rand01() * std::f64::consts::TAU;
+            candidates.push(Point::polar(around, r, theta));
+        }
+        let independent = greedy_pack(&candidates);
+        if lemma2_hypothesis(o, &us, &independent) {
+            qualifying += 1;
+            observed_max = observed_max.max(union_minus_center_count(o, &us, &independent));
+        }
+    }
+    LemmaStress {
+        observed_max,
+        bound: 11,
+        trials: qualifying,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift01(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn symmetric_difference_basics() {
+        let o = Point::ORIGIN;
+        let u = Point::new(0.8, 0.0);
+        // One point near o only, one in the lens (both), one near u only.
+        let ind = [
+            Point::new(-0.9, 0.0),
+            Point::new(0.4, 0.0),
+            Point::new(1.7, 0.0),
+        ];
+        assert_eq!(symmetric_difference_count(o, u, &ind), 2);
+        assert_eq!(symmetric_difference_count(o, u, &[]), 0);
+    }
+
+    #[test]
+    fn lemma1_stress_holds() {
+        let s = stress_lemma1(300, xorshift01(42));
+        assert!(s.holds(), "observed {} > 7", s.observed_max);
+        // The search is strong enough to find at least moderately large
+        // symmetric differences.
+        assert!(s.observed_max >= 4, "search too weak: {}", s.observed_max);
+    }
+
+    #[test]
+    fn lemma2_stress_holds() {
+        let s = stress_lemma2(300, xorshift01(43));
+        assert!(s.holds(), "observed {} > 11", s.observed_max);
+        assert!(s.trials > 0, "hypothesis never satisfied — search broken");
+    }
+
+    #[test]
+    fn lemma2_hypothesis_detection() {
+        let o = Point::ORIGIN;
+        let us = [
+            Point::new(0.5, 0.0),
+            Point::new(0.0, 0.5),
+            Point::new(-0.5, 0.0),
+        ];
+        // A point in D_o at distance > 1 from all three u_j: (0, -0.99)
+        // has dist 1.11 to (0.5,0), 1.49 to (0,0.5)... wait (0,-0.99) to
+        // (0,0.5) is 1.49, to (-0.5,0) is 1.11 — qualifies.
+        let ind = [Point::new(0.0, -0.99)];
+        assert!(lemma2_hypothesis(o, &us, &ind));
+        // A lens point covered by u_1 does not qualify.
+        let ind2 = [Point::new(0.6, 0.0)];
+        assert!(!lemma2_hypothesis(o, &us, &ind2));
+        assert!(!lemma2_hypothesis(o, &us, &[]));
+    }
+}

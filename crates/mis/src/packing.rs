@@ -1,0 +1,297 @@
+//! `I(u)`, `I(S)` and the Section-II bound oracles over point sets.
+//!
+//! Given an independent point set `I` and a planar set `U`, the paper
+//! writes `I(u) = I ∩ D_u` and `I(U) = ⋃_{u∈U} I(u)`.  These functions
+//! compute those objects and check the paper's bounds on them — the
+//! machinery behind experiments E1, E2 and E8.
+
+use mcds_geom::packing::{connected_set_bound, is_independent, phi};
+use mcds_geom::{Disk, Point};
+use mcds_udg::Udg;
+
+/// Indices of `independent` lying in the unit disk of `u` — the paper's
+/// `I(u)`.
+pub fn covered_by_point(u: Point, independent: &[Point]) -> Vec<usize> {
+    Disk::unit(u).covered_indices(independent)
+}
+
+/// Indices of `independent` lying in the unit-disk neighborhood of `set` —
+/// the paper's `I(U)`.
+pub fn covered_by_set(set: &[Point], independent: &[Point]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for &u in set {
+        out.extend(covered_by_point(u, independent));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Outcome of checking one of the paper's packing bounds on a concrete
+/// instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCheck {
+    /// Number of independent points found in the neighborhood.
+    pub count: usize,
+    /// The bound the theorem allows.
+    pub bound: f64,
+    /// Whether the instance respects the bound.
+    pub holds: bool,
+}
+
+/// Checks Theorem 3 on a star given by `(center, members)`: the number of
+/// points of `independent` in the neighborhood of the star must be at most
+/// `φ(n)`.
+///
+/// # Errors
+///
+/// Returns an error if `star` is not geometrically a star around `center`
+/// (some member outside the center's unit disk) or if `independent` is not
+/// an independent set (with `tol` slack as in
+/// [`mcds_geom::packing::is_independent`]).
+pub fn check_theorem3(
+    center: Point,
+    star: &[Point],
+    independent: &[Point],
+    tol: f64,
+) -> Result<BoundCheck, String> {
+    if !star.iter().all(|&m| center.dist(m) <= 1.0 + mcds_geom::EPS) {
+        return Err("not a star: some member lies outside the center's unit disk".into());
+    }
+    if !is_independent(independent, tol) {
+        return Err("candidate point set is not independent".into());
+    }
+    let count = covered_by_set(star, independent).len();
+    let bound = phi(star.len()) as f64;
+    Ok(BoundCheck {
+        count,
+        bound,
+        holds: count as f64 <= bound,
+    })
+}
+
+/// Checks the *refined* clause of Theorem 3: if `n ≤ 4` and every star
+/// member `v` has `|I(v)| ≤ 4`, then the bound tightens to `φ(n) − 1`.
+///
+/// Returns the refined [`BoundCheck`] when the hypothesis applies, and
+/// `Ok(None)` when it does not (star too big, or some member covers 5
+/// independent points).
+///
+/// # Errors
+///
+/// Same contract as [`check_theorem3`].
+pub fn check_theorem3_refined(
+    center: Point,
+    star: &[Point],
+    independent: &[Point],
+    tol: f64,
+) -> Result<Option<BoundCheck>, String> {
+    // Validate inputs exactly as the base oracle does.
+    let base = check_theorem3(center, star, independent, tol)?;
+    if star.len() > 4 {
+        return Ok(None);
+    }
+    let max_cover = star
+        .iter()
+        .map(|&v| covered_by_point(v, independent).len())
+        .max()
+        .unwrap_or(0);
+    if max_cover > 4 {
+        return Ok(None);
+    }
+    let bound = base.bound - 1.0;
+    Ok(Some(BoundCheck {
+        count: base.count,
+        bound,
+        holds: base.count as f64 <= bound,
+    }))
+}
+
+/// Checks Theorem 6 on a connected planar set: the number of points of
+/// `independent` in its neighborhood must be at most `11n/3 + 1`.
+///
+/// # Errors
+///
+/// Returns an error if `set` has fewer than 2 points or does not induce a
+/// connected UDG, or if `independent` is not independent (with `tol`
+/// slack).
+pub fn check_theorem6(
+    set: &[Point],
+    independent: &[Point],
+    tol: f64,
+) -> Result<BoundCheck, String> {
+    if set.len() < 2 {
+        return Err("Theorem 6 requires at least two points".into());
+    }
+    if !Udg::build(set.to_vec()).graph().is_connected() {
+        return Err("set does not induce a connected unit-disk graph".into());
+    }
+    if !is_independent(independent, tol) {
+        return Err("candidate point set is not independent".into());
+    }
+    let count = covered_by_set(set, independent).len();
+    let bound = connected_set_bound(set.len());
+    Ok(BoundCheck {
+        count,
+        bound,
+        holds: count as f64 <= bound,
+    })
+}
+
+/// Checks Lemma 5's telescoping inequality on a concrete decomposition:
+/// for a star `S` of the decomposition of `V` (with no singleton star
+/// elsewhere), `|I(V) \ I(S)| ≤ 11/3·|V \ S|`.
+///
+/// The lemma is what lifts the per-star bound (Theorem 3) to whole
+/// connected sets (Theorem 6); this oracle lets tests and E8 hammer it
+/// on real decompositions.
+///
+/// # Errors
+///
+/// Returns an error if `star_members` is not a subset of `0..set.len()`
+/// or `independent` is not an independent set (with `tol` slack).
+pub fn check_lemma5(
+    set: &[Point],
+    star_members: &[usize],
+    independent: &[Point],
+    tol: f64,
+) -> Result<BoundCheck, String> {
+    if star_members.iter().any(|&m| m >= set.len()) {
+        return Err("star member index out of range".into());
+    }
+    if !is_independent(independent, tol) {
+        return Err("candidate point set is not independent".into());
+    }
+    let star_points: Vec<Point> = star_members.iter().map(|&m| set[m]).collect();
+    let in_star = covered_by_set(&star_points, independent);
+    let in_all = covered_by_set(set, independent);
+    let outside: usize = in_all
+        .iter()
+        .filter(|i| in_star.binary_search(i).is_err())
+        .count();
+    let bound = 11.0 / 3.0 * (set.len() - star_members.len()) as f64;
+    Ok(BoundCheck {
+        count: outside,
+        bound,
+        holds: outside as f64 <= bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_by_point_matches_disk() {
+        let ind = [
+            Point::new(0.5, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(-0.6, 0.5),
+        ];
+        assert_eq!(covered_by_point(Point::ORIGIN, &ind), vec![0, 2]);
+    }
+
+    #[test]
+    fn covered_by_set_dedups() {
+        let set = [Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let ind = [Point::new(0.2, 0.0), Point::new(1.4, 0.0)];
+        // 0.2 is covered by both set points; 1.4 only by the second.
+        assert_eq!(covered_by_set(&set, &ind), vec![0, 1]);
+    }
+
+    #[test]
+    fn theorem3_on_simple_star() {
+        // 1-star at the origin with a pentagon of independent points.
+        let ind: Vec<Point> = (0..5)
+            .map(|k| Point::from_angle(k as f64 * std::f64::consts::TAU / 5.0))
+            .collect();
+        let check = check_theorem3(Point::ORIGIN, &[Point::ORIGIN], &ind, 0.0).unwrap();
+        assert_eq!(check.count, 5);
+        assert_eq!(check.bound, 5.0);
+        assert!(check.holds);
+    }
+
+    #[test]
+    fn theorem3_rejects_non_star_and_non_independent() {
+        let far = [Point::ORIGIN, Point::new(2.0, 0.0)];
+        assert!(check_theorem3(Point::ORIGIN, &far, &[], 0.0).is_err());
+        let crowded = [Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        assert!(check_theorem3(Point::ORIGIN, &[Point::ORIGIN], &crowded, 0.0).is_err());
+    }
+
+    #[test]
+    fn refined_theorem3_applies_and_tightens() {
+        // Star {o} alone; 4 independent points in its disk -> refined
+        // bound phi(1) - 1 = 4 applies and holds exactly.
+        let ind: Vec<Point> = (0..4)
+            .map(|k| Point::from_angle(k as f64 * std::f64::consts::TAU / 4.0 + 0.05))
+            .collect();
+        let refined = check_theorem3_refined(Point::ORIGIN, &[Point::ORIGIN], &ind, 0.0)
+            .unwrap()
+            .expect("hypothesis applies");
+        assert_eq!(refined.count, 4);
+        assert_eq!(refined.bound, 4.0);
+        assert!(refined.holds);
+        // With 5 independent points the hypothesis fails (some member
+        // covers 5): refined oracle declines.
+        let ind5: Vec<Point> = (0..5)
+            .map(|k| Point::from_angle(k as f64 * std::f64::consts::TAU / 5.0))
+            .collect();
+        assert!(
+            check_theorem3_refined(Point::ORIGIN, &[Point::ORIGIN], &ind5, 0.0)
+                .unwrap()
+                .is_none()
+        );
+        // A 5-star is outside the refined clause regardless.
+        let big_star: Vec<Point> = (0..5)
+            .map(|k| Point::polar(Point::ORIGIN, 0.5, k as f64))
+            .collect();
+        assert!(check_theorem3_refined(Point::ORIGIN, &big_star, &ind, 0.0)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn theorem6_on_unit_chain() {
+        let chain: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        // A sparse independent set in the neighborhood.
+        let ind = [
+            Point::new(-1.0, 0.0),
+            Point::new(0.5, 0.8),
+            Point::new(2.0, -0.9),
+            Point::new(4.0, 0.0),
+        ];
+        let check = check_theorem6(&chain, &ind, 0.0).unwrap();
+        assert_eq!(check.count, 4);
+        assert!(check.holds);
+    }
+
+    #[test]
+    fn lemma5_on_chain_with_fig2_packing() {
+        // Whole Fig. 2 instance; star = first two chain points.
+        let c = crate::constructions::fig2_chain(6, 0.02);
+        let chk = check_lemma5(&c.set, &[0, 1], &c.independent, 0.0).unwrap();
+        assert!(chk.holds, "outside {} > bound {}", chk.count, chk.bound);
+        // Degenerate star = whole set: nothing escapes, bound 0.
+        let all: Vec<usize> = (0..c.set.len()).collect();
+        let chk2 = check_lemma5(&c.set, &all, &c.independent, 0.0).unwrap();
+        assert_eq!(chk2.count, 0);
+        assert_eq!(chk2.bound, 0.0);
+        assert!(chk2.holds);
+    }
+
+    #[test]
+    fn lemma5_rejects_bad_inputs() {
+        let set = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        assert!(check_lemma5(&set, &[5], &[], 0.0).is_err());
+        let crowded = [Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        assert!(check_lemma5(&set, &[0], &crowded, 0.0).is_err());
+    }
+
+    #[test]
+    fn theorem6_rejects_bad_inputs() {
+        assert!(check_theorem6(&[Point::ORIGIN], &[], 0.0).is_err());
+        let disconnected = [Point::ORIGIN, Point::new(9.0, 0.0)];
+        assert!(check_theorem6(&disconnected, &[], 0.0).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Stars and the constructive star-decomposition of Lemma 4.
+//!
+//! A finite planar set `S` is a *star* if some point `v ∈ S` (the center)
+//! has all of `S` inside its unit disk `D_v`.  Lemma 4 of the paper states
+//! that any connected planar set of at least two points can be partitioned
+//! into non-singleton stars, and its inductive proof is constructive —
+//! [`star_decomposition`] is that construction, executable on real point
+//! sets.  The decomposition drives the lifting of the star bound
+//! (Theorem 3) to arbitrary connected sets (Theorem 6), and our E8
+//! experiment uses it to evaluate the per-star packing slack.
+
+use mcds_geom::{Point, EPS};
+use mcds_udg::Udg;
+
+/// A star within a point set, stored as indices into the original slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Star {
+    center: usize,
+    members: Vec<usize>,
+}
+
+impl Star {
+    fn new(center: usize, mut members: Vec<usize>) -> Self {
+        if !members.contains(&center) {
+            members.push(center);
+        }
+        members.sort_unstable();
+        Star { center, members }
+    }
+
+    /// The index of the center point (always a member).
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// Member indices, sorted ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of points in the star.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false`: a star contains at least its center (present for
+    /// the `len`/`is_empty` API convention).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns `true` if the star has exactly one point.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Returns `true` if, in `points`, every member lies in the unit disk
+    /// of the center.
+    pub fn is_valid(&self, points: &[Point]) -> bool {
+        let c = points[self.center];
+        self.members.iter().all(|&m| points[m].dist(c) <= 1.0 + EPS)
+    }
+}
+
+/// Computes a non-trivial star decomposition of a connected planar set of
+/// `n ≥ 2` points, following the inductive construction in the proof of
+/// Lemma 4.
+///
+/// Properties of the output (see [`verify_decomposition`]):
+/// * the stars partition `0..points.len()`,
+/// * every star is geometrically valid (members within the center's unit
+///   disk),
+/// * no star is a singleton.
+///
+/// # Errors
+///
+/// Returns an error if the points do not induce a connected UDG or if
+/// `n < 2` (Lemma 4's hypotheses).
+pub fn star_decomposition(points: &[Point]) -> Result<Vec<Star>, String> {
+    if points.len() < 2 {
+        return Err(format!(
+            "star decomposition needs at least 2 points, got {}",
+            points.len()
+        ));
+    }
+    let udg = Udg::build(points.to_vec());
+    if !udg.graph().is_connected() {
+        return Err("point set does not induce a connected unit-disk graph".into());
+    }
+    let all: Vec<usize> = (0..points.len()).collect();
+    Ok(decompose(points, &all))
+}
+
+/// Recursive body of Lemma 4's proof.  `active` is a connected subset with
+/// `|active| ≥ 2`.
+fn decompose(points: &[Point], active: &[usize]) -> Vec<Star> {
+    debug_assert!(active.len() >= 2);
+    if active.len() == 2 {
+        // Two connected points form a 2-star centered at either.
+        return vec![Star::new(active[0], active.to_vec())];
+    }
+    // Pick an arbitrary node v (the first) and split the rest into
+    // connected components of the induced UDG.
+    let v = active[0];
+    let rest: Vec<usize> = active[1..].to_vec();
+    let comps = components_of(points, &rest);
+
+    let (singles, multis): (Vec<_>, Vec<_>) = comps.into_iter().partition(|c| c.len() == 1);
+
+    let mut stars: Vec<Star> = Vec::new();
+    for comp in &multis {
+        stars.extend(decompose(points, comp));
+    }
+
+    if !singles.is_empty() {
+        // Case 1: every singleton component is adjacent to v (otherwise
+        // the original set was disconnected); they form a star around v.
+        let mut members: Vec<usize> = singles.iter().map(|c| c[0]).collect();
+        for &s in &members {
+            debug_assert!(points[s].dist(points[v]) <= 1.0 + EPS);
+        }
+        members.push(v);
+        stars.push(Star::new(v, members));
+        return stars;
+    }
+
+    // Case 2: no singleton components.  Let u be a neighbor of v; find the
+    // star S containing u in the decomposition built so far.
+    let u = *rest
+        .iter()
+        .find(|&&u| points[u].dist(points[v]) <= 1.0 + EPS)
+        .expect("connected set: v has a neighbor");
+    let si = stars
+        .iter()
+        .position(|s| s.members().contains(&u))
+        .expect("u belongs to some star");
+
+    let s_in_du = stars[si]
+        .members()
+        .iter()
+        .all(|&m| points[m].dist(points[u]) <= 1.0 + EPS);
+    if s_in_du {
+        // S ⊂ D_u: re-center at u and absorb v (v ∈ D_u since uv ≤ 1).
+        let mut members = stars[si].members().to_vec();
+        members.push(v);
+        stars[si] = Star::new(u, members);
+    } else {
+        // S ⊄ D_u, hence |S| ≥ 3 and the center is not u: split off
+        // {u, v} as a 2-star and shrink S.
+        debug_assert!(stars[si].len() >= 3);
+        debug_assert_ne!(stars[si].center(), u);
+        let center = stars[si].center();
+        let members: Vec<usize> = stars[si]
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != u)
+            .collect();
+        stars[si] = Star::new(center, members);
+        stars.push(Star::new(u, vec![u, v]));
+    }
+    stars
+}
+
+/// Connected components (by unit-disk adjacency) of the subset `subset`.
+fn components_of(points: &[Point], subset: &[usize]) -> Vec<Vec<usize>> {
+    let sub_points: Vec<Point> = subset.iter().map(|&i| points[i]).collect();
+    let udg = Udg::build(sub_points);
+    mcds_graph::traversal::connected_components(udg.graph())
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|local| subset[local]).collect())
+        .collect()
+}
+
+/// Verifies the three Lemma-4 properties of a decomposition; returns the
+/// first violation as an error message.
+pub fn verify_decomposition(points: &[Point], stars: &[Star]) -> Result<(), String> {
+    let mut seen = vec![false; points.len()];
+    for (k, s) in stars.iter().enumerate() {
+        if s.is_singleton() && points.len() >= 2 {
+            return Err(format!("star {k} is a singleton"));
+        }
+        if !s.is_valid(points) {
+            return Err(format!(
+                "star {k} (center {}) has a member outside the center's unit disk",
+                s.center()
+            ));
+        }
+        for &m in s.members() {
+            if m >= points.len() {
+                return Err(format!("star {k} references out-of-range point {m}"));
+            }
+            if seen[m] {
+                return Err(format!("point {m} appears in more than one star"));
+            }
+            seen[m] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&x| !x) {
+        return Err(format!("point {missing} is not covered by any star"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn two_points_single_star() {
+        let pts = chain(2, 0.9);
+        let stars = star_decomposition(&pts).unwrap();
+        assert_eq!(stars.len(), 1);
+        assert_eq!(stars[0].len(), 2);
+        verify_decomposition(&pts, &stars).unwrap();
+    }
+
+    #[test]
+    fn chains_of_many_lengths_decompose() {
+        for n in 2..40 {
+            let pts = chain(n, 1.0);
+            let stars = star_decomposition(&pts).unwrap();
+            verify_decomposition(&pts, &stars).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            // Unit-spaced chain stars can hold at most 3 points
+            // (center ± 1), so at least ⌈n/3⌉ stars.
+            assert!(stars.len() >= n.div_ceil(3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dense_cluster_is_one_star_or_few() {
+        // All points within 0.4 of the origin: everything fits one star.
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::polar(Point::ORIGIN, 0.4, i as f64))
+            .collect();
+        let stars = star_decomposition(&pts).unwrap();
+        verify_decomposition(&pts, &stars).unwrap();
+        // Not necessarily a single star (the construction is greedy), but
+        // every star must be big enough to be nontrivial.
+        assert!(stars.iter().all(|s| s.len() >= 2));
+    }
+
+    #[test]
+    fn t_shape_with_singleton_branches() {
+        // A hub at origin with three leaves at distance 1 (removing the
+        // hub leaves 3 singletons -> Case 1).
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let stars = star_decomposition(&pts).unwrap();
+        verify_decomposition(&pts, &stars).unwrap();
+        assert_eq!(stars.len(), 1);
+        assert_eq!(stars[0].center(), 0);
+        assert_eq!(stars[0].len(), 4);
+    }
+
+    #[test]
+    fn disconnected_input_rejected() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        assert!(star_decomposition(&pts).is_err());
+        assert!(star_decomposition(&[Point::ORIGIN]).is_err());
+        assert!(star_decomposition(&[]).is_err());
+    }
+
+    #[test]
+    fn grid_cluster_decomposes_validly() {
+        let mut pts = Vec::new();
+        for r in 0..5 {
+            for c in 0..5 {
+                pts.push(Point::new(c as f64 * 0.8, r as f64 * 0.8));
+            }
+        }
+        let stars = star_decomposition(&pts).unwrap();
+        verify_decomposition(&pts, &stars).unwrap();
+        let covered: usize = stars.iter().map(|s| s.len()).sum();
+        assert_eq!(covered, 25);
+    }
+
+    #[test]
+    fn verify_catches_bad_decompositions() {
+        let pts = chain(4, 1.0);
+        // Missing point.
+        let partial = vec![Star::new(0, vec![0, 1])];
+        assert!(verify_decomposition(&pts, &partial).is_err());
+        // Overlapping stars (both geometrically valid).
+        let overlap = vec![Star::new(0, vec![0, 1]), Star::new(1, vec![1, 2])];
+        assert!(verify_decomposition(&pts, &overlap)
+            .unwrap_err()
+            .contains("more than one"));
+        // Geometrically invalid star (0 and 3 are 3 apart).
+        let invalid = vec![Star::new(0, vec![0, 3]), Star::new(1, vec![1, 2])];
+        assert!(verify_decomposition(&pts, &invalid)
+            .unwrap_err()
+            .contains("unit disk"));
+        // Singleton star.
+        let single = vec![
+            Star::new(0, vec![0]),
+            Star::new(1, vec![1, 2]),
+            Star::new(3, vec![3]),
+        ];
+        assert!(verify_decomposition(&pts, &single)
+            .unwrap_err()
+            .contains("singleton"));
+    }
+
+    #[test]
+    fn star_accessors() {
+        let s = Star::new(2, vec![1, 3]);
+        assert_eq!(s.center(), 2);
+        assert_eq!(s.members(), &[1, 2, 3]); // center auto-included
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_singleton());
+    }
+}

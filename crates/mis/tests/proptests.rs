@@ -1,0 +1,106 @@
+//! Property-based tests for the MIS machinery and Section-II geometry.
+
+use mcds_geom::packing::{is_independent, phi};
+use mcds_geom::Point;
+use mcds_graph::{properties, Graph};
+use mcds_mis::packing::{check_theorem3, covered_by_point, covered_by_set};
+use mcds_mis::stars::{star_decomposition, verify_decomposition};
+use mcds_mis::{first_fit, variants, BfsMis};
+use mcds_udg::Udg;
+use proptest::prelude::*;
+
+fn points_strategy(max_n: usize, scale: f64) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0i64..1000, 0i64..1000).prop_map(move |(x, y)| {
+            Point::new(x as f64 / 1000.0 * scale, y as f64 / 1000.0 * scale)
+        }),
+        1..max_n,
+    )
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 3))
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn first_fit_output_is_independent_for_any_order(g in graph_strategy(24), perm_seed in 0u64..1000) {
+        // Derive a permutation from the seed.
+        let n = g.num_nodes();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = perm_seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mis = first_fit(&g, &order);
+        prop_assert!(properties::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn mis_variants_agree_on_validity(g in graph_strategy(24)) {
+        for mis in [
+            variants::lexicographic_mis(&g),
+            variants::max_degree_mis(&g),
+            variants::min_degree_mis(&g),
+        ] {
+            prop_assert!(properties::is_maximal_independent_set(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn bfs_mis_two_hop_separation_on_connected(g in graph_strategy(20)) {
+        prop_assume!(g.is_connected());
+        let r = BfsMis::compute(&g, 0);
+        prop_assert!(properties::is_maximal_independent_set(&g, r.mis()));
+        prop_assert!(properties::has_two_hop_separation(&g, r.mis()));
+    }
+
+    #[test]
+    fn star_decomposition_valid_on_connected_point_sets(pts in points_strategy(30, 3.0)) {
+        let udg = Udg::build(pts.clone());
+        prop_assume!(pts.len() >= 2 && udg.graph().is_connected());
+        let stars = star_decomposition(&pts).expect("connected set");
+        prop_assert!(verify_decomposition(&pts, &stars).is_ok());
+        // Theorem 3 per star: the members of a k-star can themselves be
+        // covered by phi(k)... sanity: star sizes in 2..=n.
+        for s in &stars {
+            prop_assert!(s.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn covered_by_set_is_union_of_covered_by_point(pts in points_strategy(12, 2.0), ind in points_strategy(20, 4.0)) {
+        let by_set = covered_by_set(&pts, &ind);
+        let mut by_union: Vec<usize> = pts
+            .iter()
+            .flat_map(|&u| covered_by_point(u, &ind))
+            .collect();
+        by_union.sort_unstable();
+        by_union.dedup();
+        prop_assert_eq!(by_set, by_union);
+    }
+
+    #[test]
+    fn theorem3_holds_on_random_stars(center in (0i64..100, 0i64..100), spokes in proptest::collection::vec((0i64..1000, 0i64..1000), 0..5), cand in points_strategy(60, 4.0)) {
+        let c = Point::new(center.0 as f64 / 100.0, center.1 as f64 / 100.0);
+        // Star members within the unit disk of c.
+        let mut star = vec![c];
+        for (r, t) in spokes {
+            let radius = r as f64 / 1000.0;
+            let theta = t as f64 / 1000.0 * std::f64::consts::TAU;
+            star.push(Point::polar(c, radius, theta));
+        }
+        // Pack an independent set from the candidates.
+        let ind = mcds_geom::packing::greedy_pack(&cand);
+        prop_assert!(is_independent(&ind, 0.0));
+        let chk = check_theorem3(c, &star, &ind, 0.0).expect("valid star & independent set");
+        prop_assert!(chk.holds, "Theorem 3 violated: {} > phi({}) = {}",
+            chk.count, star.len(), phi(star.len()));
+    }
+}

@@ -1,0 +1,317 @@
+//! Seedable instance generators.
+//!
+//! All generators take an explicit `&mut impl Rng`, so experiments are
+//! reproducible from a seed.  The conventional experimental setup in the
+//! CDS literature — and the one our harness uses — scatters `n` nodes
+//! uniformly in an `L × L` square and keeps connected instances.
+
+use mcds_geom::{Aabb, Point};
+use mcds_graph::traversal::largest_component;
+use rand::Rng;
+
+use crate::Udg;
+
+/// `n` points uniform in the axis-aligned box `region`.
+pub fn uniform_in_box<R: Rng + ?Sized>(rng: &mut R, n: usize, region: Aabb) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(region.min().x..=region.max().x),
+                rng.gen_range(region.min().y..=region.max().y),
+            )
+        })
+        .collect()
+}
+
+/// `n` points uniform in the `side × side` square anchored at the origin.
+pub fn uniform_in_square<R: Rng + ?Sized>(rng: &mut R, n: usize, side: f64) -> Vec<Point> {
+    uniform_in_box(rng, n, Aabb::square(side))
+}
+
+/// `n` points uniform in the disk of radius `r` centered at `center`
+/// (by rejection from the bounding square; ≈ 27% overhead).
+pub fn uniform_in_disk<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point,
+    r: f64,
+) -> Vec<Point> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = Point::new(rng.gen_range(-r..=r), rng.gen_range(-r..=r));
+        if p.norm_sq() <= r * r {
+            out.push(center + p);
+        }
+    }
+    out
+}
+
+/// Clustered deployment: `clusters` cluster centers uniform in the square,
+/// each with `per_cluster` members Gaussian-ish scattered (sum of two
+/// uniforms) at scale `spread`.
+///
+/// Models the "hotspot" topologies common in sensor-network evaluations;
+/// clustered instances have small MISs relative to `n` and stress the
+/// connector phase.
+pub fn clustered<R: Rng + ?Sized>(
+    rng: &mut R,
+    clusters: usize,
+    per_cluster: usize,
+    side: f64,
+    spread: f64,
+) -> Vec<Point> {
+    let centers = uniform_in_square(rng, clusters, side);
+    let mut out = Vec::with_capacity(clusters * per_cluster);
+    for &c in &centers {
+        for _ in 0..per_cluster {
+            let dx = (rng.gen_range(-1.0..=1.0) + rng.gen_range(-1.0..=1.0)) * spread / 2.0;
+            let dy = (rng.gen_range(-1.0..=1.0) + rng.gen_range(-1.0..=1.0)) * spread / 2.0;
+            out.push(c + Point::new(dx, dy));
+        }
+    }
+    out
+}
+
+/// A `rows × cols` grid with spacing `pitch`, each point jittered uniformly
+/// by up to `jitter` in each coordinate.
+///
+/// With `pitch ≤ 1` and small jitter the instance is connected by
+/// construction; it models engineered (mesh) deployments.
+pub fn perturbed_grid<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    pitch: f64,
+    jitter: f64,
+) -> Vec<Point> {
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let base = Point::new(c as f64 * pitch, r as f64 * pitch);
+            let j = Point::new(
+                rng.gen_range(-jitter..=jitter),
+                rng.gen_range(-jitter..=jitter),
+            );
+            out.push(base + j);
+        }
+    }
+    out
+}
+
+/// `n` collinear points with consecutive spacing `spacing` along the
+/// x-axis — the backbone of the paper's Fig.-2 construction and the
+/// worst-known family for independence packing.
+pub fn linear_chain(n: usize, spacing: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(i as f64 * spacing, 0.0))
+        .collect()
+}
+
+/// `n` points uniform in the annulus between radii `r_in` and `r_out`
+/// around `center` — a "hole" topology that stretches hop distances and
+/// stresses the connector phase (backbones must route around the void).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ r_in < r_out` and both are finite.
+pub fn uniform_in_annulus<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    center: Point,
+    r_in: f64,
+    r_out: f64,
+) -> Vec<Point> {
+    assert!(
+        r_in.is_finite() && r_out.is_finite() && 0.0 <= r_in && r_in < r_out,
+        "need 0 <= r_in < r_out, got {r_in}..{r_out}"
+    );
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = Point::new(rng.gen_range(-r_out..=r_out), rng.gen_range(-r_out..=r_out));
+        let d2 = p.norm_sq();
+        if d2 <= r_out * r_out && d2 >= r_in * r_in {
+            out.push(center + p);
+        }
+    }
+    out
+}
+
+/// `n` points uniform in a `length × width` corridor — the
+/// maximum-diameter deployment at a given area, the regime where the
+/// paper's worst-case chain family lives.
+pub fn corridor<R: Rng + ?Sized>(rng: &mut R, n: usize, length: f64, width: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..=length), rng.gen_range(0.0..=width)))
+        .collect()
+}
+
+/// Generates connected uniform instances: samples up to `max_tries` point
+/// sets of `n` uniform points in a `side × side` square and returns the
+/// first whose UDG is connected.
+///
+/// Returns `None` if no try produced a connected instance — callers should
+/// either increase density or fall back to [`giant_component_instance`].
+pub fn connected_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    side: f64,
+    max_tries: usize,
+) -> Option<Udg> {
+    for _ in 0..max_tries {
+        let udg = Udg::build(uniform_in_square(rng, n, side));
+        if udg.graph().is_connected() && !udg.is_empty() {
+            return Some(udg);
+        }
+    }
+    None
+}
+
+/// Samples one uniform instance and restricts it to its largest connected
+/// component.
+///
+/// Unlike [`connected_uniform`] this always succeeds (for `n ≥ 1`), at the
+/// cost of a variable final node count; the standard trick for sparse
+/// regimes.
+pub fn giant_component_instance<R: Rng + ?Sized>(rng: &mut R, n: usize, side: f64) -> Udg {
+    let udg = Udg::build(uniform_in_square(rng, n, side));
+    let giant = largest_component(udg.graph());
+    udg.restricted_to(&giant)
+}
+
+/// The side length of the square in which `n` uniform nodes have expected
+/// average degree ≈ `target_degree` (ignoring boundary effects):
+/// `E[deg] ≈ (n−1)·π / side²`.
+pub fn side_for_avg_degree(n: usize, target_degree: f64) -> f64 {
+    assert!(target_degree > 0.0, "target degree must be positive");
+    assert!(n >= 2, "need at least two nodes for a meaningful degree");
+    (((n - 1) as f64) * std::f64::consts::PI / target_degree).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_points_stay_in_region() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Aabb::square(7.0);
+        for p in uniform_in_box(&mut rng, 500, region) {
+            assert!(region.contains(p));
+        }
+    }
+
+    #[test]
+    fn disk_points_stay_in_disk() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Point::new(3.0, -1.0);
+        for p in uniform_in_disk(&mut rng, 300, c, 2.0) {
+            assert!(p.dist(c) <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_by_seed() {
+        let a = uniform_in_square(&mut StdRng::seed_from_u64(9), 50, 5.0);
+        let b = uniform_in_square(&mut StdRng::seed_from_u64(9), 50, 5.0);
+        assert_eq!(a, b);
+        let c = uniform_in_square(&mut StdRng::seed_from_u64(10), 50, 5.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = clustered(&mut rng, 4, 10, 10.0, 0.5);
+        assert_eq!(pts.len(), 40);
+    }
+
+    #[test]
+    fn perturbed_grid_is_connected_at_tight_pitch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = perturbed_grid(&mut rng, 6, 6, 0.7, 0.05);
+        assert_eq!(pts.len(), 36);
+        assert!(Udg::build(pts).graph().is_connected());
+    }
+
+    #[test]
+    fn linear_chain_shape() {
+        let pts = linear_chain(5, 1.0);
+        assert_eq!(pts.len(), 5);
+        let udg = Udg::build(pts);
+        // Consecutive spacing exactly 1: a path graph.
+        assert_eq!(udg.graph().num_edges(), 4);
+        assert_eq!(udg.graph().max_degree(), 2);
+        assert!(linear_chain(0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn connected_uniform_dense_succeeds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let udg = connected_uniform(&mut rng, 60, 3.0, 50).expect("dense instance");
+        assert!(udg.graph().is_connected());
+        assert_eq!(udg.len(), 60);
+    }
+
+    #[test]
+    fn connected_uniform_impossible_returns_none() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // 2 nodes in a huge square: essentially never connected.
+        assert!(connected_uniform(&mut rng, 2, 1000.0, 5).is_none());
+    }
+
+    #[test]
+    fn giant_component_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let udg = giant_component_instance(&mut rng, 100, 12.0);
+        assert!(udg.graph().is_connected());
+        assert!(!udg.is_empty());
+        assert!(udg.len() <= 100);
+    }
+
+    #[test]
+    fn annulus_points_respect_radii() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = Point::new(1.0, -2.0);
+        for p in uniform_in_annulus(&mut rng, 200, c, 2.0, 4.0) {
+            let d = p.dist(c);
+            assert!((2.0..=4.0 + 1e-12).contains(&d), "distance {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "r_in < r_out")]
+    fn annulus_rejects_bad_radii() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform_in_annulus(&mut rng, 1, Point::ORIGIN, 3.0, 2.0);
+    }
+
+    #[test]
+    fn corridor_is_long_and_thin() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let pts = corridor(&mut rng, 300, 30.0, 1.5);
+        for p in &pts {
+            assert!((0.0..=30.0).contains(&p.x));
+            assert!((0.0..=1.5).contains(&p.y));
+        }
+        // Dense corridors connect and have large diameter.
+        let udg = Udg::build(pts);
+        let giant = mcds_graph::traversal::largest_component(udg.graph());
+        let sub = udg.restricted_to(&giant);
+        let diam = mcds_graph::traversal::diameter(sub.graph()).unwrap();
+        assert!(diam >= 15, "corridor diameter {diam} too small");
+    }
+
+    #[test]
+    fn side_for_avg_degree_hits_target_roughly() {
+        let n = 400;
+        let target = 10.0;
+        let side = side_for_avg_degree(n, target);
+        let mut rng = StdRng::seed_from_u64(8);
+        let udg = Udg::build(uniform_in_square(&mut rng, n, side));
+        let avg = udg.graph().avg_degree();
+        // Boundary effects push the realized degree below the target;
+        // accept a generous band.
+        assert!(avg > target * 0.5 && avg < target * 1.5, "avg degree {avg}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Node mobility — the "ad hoc" in wireless ad hoc networks.
+//!
+//! The literature the paper builds on (\[1\] is titled *"Message-Optimal
+//! Connected Dominating Sets in **Mobile** Ad Hoc Networks"*) cares about
+//! topologies that change as nodes move.  This module provides the
+//! standard **random-waypoint** model: each node picks a waypoint
+//! uniformly in the region, travels toward it at its speed, pauses, and
+//! repeats.  Backbone-maintenance experiments sample the walk at epochs
+//! and measure how much of the CDS survives each step.
+
+use mcds_geom::{Aabb, Point};
+use rand::Rng;
+
+use crate::Udg;
+
+/// A random-waypoint mobility simulation over a fixed node population.
+///
+/// ```
+/// use mcds_geom::Aabb;
+/// use mcds_udg::mobility::RandomWaypoint;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut walk = RandomWaypoint::new(&mut rng, 40, Aabb::square(6.0), (0.5, 1.5), 0.2);
+/// walk.step(&mut rng, 1.0);
+/// let topology = walk.snapshot();      // rebuild the UDG after motion
+/// assert_eq!(topology.len(), 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    region: Aabb,
+    positions: Vec<Point>,
+    waypoints: Vec<Point>,
+    speeds: Vec<f64>,
+    pause_left: Vec<f64>,
+    pause: f64,
+}
+
+impl RandomWaypoint {
+    /// Starts a walk with `n` nodes uniform in `region`, speeds uniform
+    /// in `speed_range`, and `pause` time units of rest at each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is empty/non-positive or `pause` is
+    /// negative.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        region: Aabb,
+        speed_range: (f64, f64),
+        pause: f64,
+    ) -> Self {
+        let (lo, hi) = speed_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi,
+            "need 0 < min_speed <= max_speed, got {lo}..{hi}"
+        );
+        assert!(pause >= 0.0 && pause.is_finite(), "pause must be ≥ 0");
+        let positions: Vec<Point> = (0..n).map(|_| Self::sample_point(rng, &region)).collect();
+        let waypoints: Vec<Point> = (0..n).map(|_| Self::sample_point(rng, &region)).collect();
+        let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+        RandomWaypoint {
+            region,
+            positions,
+            waypoints,
+            speeds,
+            pause_left: vec![0.0; n],
+            pause,
+        }
+    }
+
+    fn sample_point<R: Rng + ?Sized>(rng: &mut R, region: &Aabb) -> Point {
+        Point::new(
+            rng.gen_range(region.min().x..=region.max().x),
+            rng.gen_range(region.min().y..=region.max().y),
+        )
+    }
+
+    /// Current node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The deployment region.
+    pub fn region(&self) -> Aabb {
+        self.region
+    }
+
+    /// Advances the walk by `dt` time units.
+    ///
+    /// Each node moves toward its waypoint at its speed; on arrival it
+    /// pauses, then draws a fresh waypoint.  Movement within one `dt` is
+    /// resolved exactly (including waypoint arrivals mid-step).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "dt must be ≥ 0");
+        for i in 0..self.positions.len() {
+            let mut budget = dt;
+            while budget > 0.0 {
+                if self.pause_left[i] > 0.0 {
+                    let rest = self.pause_left[i].min(budget);
+                    self.pause_left[i] -= rest;
+                    budget -= rest;
+                    continue;
+                }
+                let to_go = self.positions[i].dist(self.waypoints[i]);
+                let reach = self.speeds[i] * budget;
+                if reach < to_go {
+                    let dir = (self.waypoints[i] - self.positions[i])
+                        .normalized()
+                        .expect("to_go > 0");
+                    self.positions[i] += dir * reach;
+                    budget = 0.0;
+                } else {
+                    // Arrive, start pause, pick the next waypoint.
+                    self.positions[i] = self.waypoints[i];
+                    budget -= if self.speeds[i] > 0.0 {
+                        to_go / self.speeds[i]
+                    } else {
+                        0.0
+                    };
+                    self.pause_left[i] = self.pause;
+                    self.waypoints[i] = Self::sample_point(rng, &self.region);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the current communication topology (unit radius).
+    pub fn snapshot(&self) -> Udg {
+        Udg::build(self.positions.clone())
+    }
+}
+
+/// The fraction of `old` nodes that survive into `new` — the backbone
+/// *stability* between epochs (1.0 = unchanged).
+pub fn survival_fraction(old: &[usize], new: &[usize]) -> f64 {
+    if old.is_empty() {
+        return 1.0;
+    }
+    let new_set: std::collections::BTreeSet<usize> = new.iter().copied().collect();
+    old.iter().filter(|v| new_set.contains(v)).count() as f64 / old.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nodes_stay_in_region() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Aabb::square(8.0);
+        let mut walk = RandomWaypoint::new(&mut rng, 60, region, (0.5, 2.0), 0.3);
+        for _ in 0..50 {
+            walk.step(&mut rng, 0.7);
+            for p in walk.positions() {
+                assert!(region.contains(*p), "{p} escaped the region");
+            }
+        }
+    }
+
+    #[test]
+    fn movement_is_bounded_by_speed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let region = Aabb::square(20.0);
+        let mut walk = RandomWaypoint::new(&mut rng, 30, region, (1.0, 1.5), 0.0);
+        let before = walk.positions().to_vec();
+        let dt = 0.5;
+        walk.step(&mut rng, dt);
+        for (a, b) in before.iter().zip(walk.positions()) {
+            // Max distance = max_speed * dt (waypoint turns shorten it).
+            assert!(a.dist(*b) <= 1.5 * dt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pause_holds_nodes_still() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let region = Aabb::square(2.0);
+        // Speed so high every node reaches its waypoint immediately, then
+        // pauses for a long time.
+        let mut walk = RandomWaypoint::new(&mut rng, 10, region, (1000.0, 1000.0), 100.0);
+        walk.step(&mut rng, 1.0); // everyone arrives and starts pausing
+        let frozen = walk.positions().to_vec();
+        walk.step(&mut rng, 1.0);
+        assert_eq!(frozen, walk.positions());
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut walk = RandomWaypoint::new(&mut rng, 20, Aabb::square(5.0), (1.0, 2.0), 0.1);
+        let before = walk.positions().to_vec();
+        walk.step(&mut rng, 0.0);
+        assert_eq!(before, walk.positions());
+    }
+
+    #[test]
+    fn snapshot_matches_positions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let walk = RandomWaypoint::new(&mut rng, 15, Aabb::square(4.0), (1.0, 1.0), 0.0);
+        let udg = walk.snapshot();
+        assert_eq!(udg.points(), walk.positions());
+    }
+
+    #[test]
+    fn survival_fraction_cases() {
+        assert_eq!(survival_fraction(&[], &[1, 2]), 1.0);
+        assert_eq!(survival_fraction(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(survival_fraction(&[1, 2], &[]), 0.0);
+        assert!((survival_fraction(&[1, 2, 3, 4], &[2, 4, 9]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_speed")]
+    fn bad_speed_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = RandomWaypoint::new(&mut rng, 1, Aabb::square(1.0), (2.0, 1.0), 0.0);
+    }
+}

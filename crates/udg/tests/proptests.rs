@@ -1,0 +1,88 @@
+//! Property-based tests for the UDG crate: generator invariants and
+//! parser robustness.
+
+use mcds_geom::{Aabb, Point};
+use mcds_udg::{gen, io, Udg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,300}") {
+        // Robustness: any input either parses or returns Err — no panic.
+        let _ = io::parse_instance(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        n in 0usize..20,
+        radius in -2.0f64..3.0,
+        rows in proptest::collection::vec("[-0-9eE. xyz]{0,20}", 0..25),
+    ) {
+        let mut text = format!("udg {n} {radius}\n");
+        for r in rows {
+            text.push_str(&r);
+            text.push('\n');
+        }
+        let _ = io::parse_instance(&text);
+    }
+
+    #[test]
+    fn roundtrip_through_text_is_exact(
+        seed in 0u64..10_000,
+        n in 0usize..60,
+        side in 0.5f64..12.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let udg = Udg::build(gen::uniform_in_square(&mut rng, n, side));
+        let back = io::parse_instance(&io::write_instance(&udg)).expect("own output parses");
+        prop_assert_eq!(back.points(), udg.points());
+        prop_assert_eq!(back.graph(), udg.graph());
+    }
+
+    #[test]
+    fn generators_respect_their_regions(seed in 0u64..10_000, n in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 6.0;
+        for p in gen::uniform_in_square(&mut rng, n, side) {
+            prop_assert!(Aabb::square(side).contains(p));
+        }
+        let c = Point::new(1.0, 2.0);
+        for p in gen::uniform_in_disk(&mut rng, n, c, 2.5) {
+            prop_assert!(p.dist(c) <= 2.5 + 1e-12);
+        }
+        for p in gen::uniform_in_annulus(&mut rng, n, c, 1.0, 3.0) {
+            let d = p.dist(c);
+            prop_assert!((1.0..=3.0 + 1e-12).contains(&d));
+        }
+        for p in gen::corridor(&mut rng, n, 15.0, 2.0) {
+            prop_assert!((0.0..=15.0).contains(&p.x) && (0.0..=2.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn giant_component_instances_are_connected(seed in 0u64..5_000, n in 1usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let udg = gen::giant_component_instance(&mut rng, n, 6.0);
+        prop_assert!(udg.graph().is_connected());
+        prop_assert!(!udg.is_empty() && udg.len() <= n);
+    }
+
+    #[test]
+    fn mobility_preserves_population_and_region(seed in 0u64..3_000, steps in 1usize..8) {
+        use mcds_udg::mobility::RandomWaypoint;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let region = Aabb::square(5.0);
+        let mut walk = RandomWaypoint::new(&mut rng, 25, region, (0.5, 1.5), 0.2);
+        for _ in 0..steps {
+            walk.step(&mut rng, 0.8);
+        }
+        prop_assert_eq!(walk.positions().len(), 25);
+        for p in walk.positions() {
+            prop_assert!(region.contains(*p));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Simple SVG line charts for experiment series.
+//!
+//! Just enough charting to turn an experiment's `(x, y)` series into a
+//! publishable figure: linear axes with tick labels, one polyline per
+//! series, a legend.  No interactivity, no dependencies.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Stroke color (any SVG color).
+    pub color: String,
+    /// The `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+    /// Dash the line (for conjectured/unproven bounds).
+    pub dashed: bool,
+}
+
+impl Series {
+    /// Creates a solid series.
+    pub fn new(name: &str, color: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.to_string(),
+            color: color.to_string(),
+            points,
+            dashed: false,
+        }
+    }
+
+    /// Marks the series dashed (conventionally: unproven lines).
+    pub fn dashed(mut self) -> Self {
+        self.dashed = true;
+        self
+    }
+}
+
+/// A line chart (non-consuming builder).
+#[derive(Debug, Default)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Starts a chart with a title.
+    pub fn new(title: &str) -> Self {
+        LineChart {
+            title: title.to_string(),
+            ..LineChart::default()
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn axes(&mut self, x: &str, y: &str) -> &mut Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart to SVG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any points (there is nothing to scale to).
+    pub fn render(&self) -> String {
+        const W: f64 = 720.0;
+        const H: f64 = 480.0;
+        const ML: f64 = 64.0; // margins
+        const MR: f64 = 24.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 52.0;
+        let plot_w = W - ML - MR;
+        let plot_h = H - MT - MB;
+
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "cannot render an empty chart");
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 - x0 < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        // Start y at zero for honest magnitude comparison unless data is
+        // far from zero.
+        if y0 > 0.0 && y0 < 0.5 * y1 {
+            y0 = 0.0;
+        }
+        if y1 - y0 < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let tx = |x: f64| ML + (x - x0) / (x1 - x0) * plot_w;
+        let ty = |y: f64| MT + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W:.0}\" height=\"{H:.0}\" viewBox=\"0 0 {W} {H}\">"
+        );
+        let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+        // Title + axis labels.
+        let _ = writeln!(
+            out,
+            r#"  <text x="{:.0}" y="24" font-size="16" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            W / 2.0,
+            escape(&self.title)
+        );
+        let _ = writeln!(
+            out,
+            r#"  <text x="{:.0}" y="{:.0}" font-size="12" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            ML + plot_w / 2.0,
+            H - 14.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"  <text x="16" y="{:.0}" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+            MT + plot_h / 2.0,
+            MT + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Frame + ticks (5 per axis).
+        let _ = writeln!(
+            out,
+            r##"  <rect x="{ML:.1}" y="{MT:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#888" stroke-width="1"/>"##
+        );
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let px = tx(fx);
+            let py = ty(fy);
+            let _ = writeln!(
+                out,
+                r##"  <line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#ccc" stroke-width="0.5"/>"##,
+                MT,
+                MT + plot_h
+            );
+            let _ = writeln!(
+                out,
+                r#"  <text x="{px:.1}" y="{:.1}" font-size="10" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+                MT + plot_h + 16.0,
+                trim_num(fx)
+            );
+            let _ = writeln!(
+                out,
+                r##"  <line x1="{:.1}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ccc" stroke-width="0.5"/>"##,
+                ML,
+                ML + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"  <text x="{:.1}" y="{:.1}" font-size="10" font-family="sans-serif" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                py + 3.0,
+                trim_num(fy)
+            );
+        }
+        // Series.
+        for s in &self.series {
+            let pts: String = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", tx(x), ty(y)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                r#"  <polyline points="{pts}" fill="none" stroke="{}" stroke-width="2"{dash}/>"#,
+                s.color
+            );
+        }
+        // Legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let ly = MT + 14.0 + i as f64 * 16.0;
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                r#"  <line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{}" stroke-width="2"{dash}/>"#,
+                ML + 8.0,
+                ML + 36.0,
+                s.color
+            );
+            let _ = writeln!(
+                out,
+                r#"  <text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif">{}</text>"#,
+                ML + 42.0,
+                ly + 3.5,
+                escape(&s.name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn trim_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{:.0}", x)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_series_and_legend() {
+        let mut chart = LineChart::new("bounds");
+        chart.axes("n", "points").series(Series::new(
+            "proven",
+            "#333333",
+            vec![(3.0, 12.0), (6.0, 23.0), (12.0, 45.0)],
+        ));
+        chart.series(
+            Series::new("conjectured", "#c0392b", vec![(3.0, 12.0), (12.0, 39.0)]).dashed(),
+        );
+        let svg = chart.render();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("proven"));
+        assert!(svg.contains("conjectured"));
+        assert!(svg.contains(">bounds<"));
+    }
+
+    #[test]
+    fn degenerate_single_point_renders() {
+        let mut chart = LineChart::new("t");
+        chart.series(Series::new("s", "#000", vec![(1.0, 1.0)]));
+        let svg = chart.render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chart")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("nothing").render();
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut chart = LineChart::new("a<b");
+        chart.series(Series::new("x&y", "#000", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let svg = chart.render();
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("x&amp;y"));
+    }
+}

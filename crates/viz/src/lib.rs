@@ -1,0 +1,207 @@
+//! SVG rendering for the `mcds` workspace.
+//!
+//! Dependency-free scalable-vector-graphics output for the objects this
+//! reproduction manipulates:
+//!
+//! * [`render_udg`] — a unit-disk-graph instance with its links, with
+//!   optional role highlighting (dominators / connectors) via
+//!   [`UdgStyle`],
+//! * [`render_construction`] — the paper's Fig. 1 / Fig. 2 tightness
+//!   instances: the structured set, its unit-disk neighborhood, and the
+//!   packed independent points,
+//! * [`svg::Canvas`] — the small drawing surface both are built on, if
+//!   you want custom figures.
+//!
+//! The output is plain SVG 1.1 text: viewable in any browser, embeddable
+//! in papers, diffable in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_geom::Point;
+//! use mcds_udg::Udg;
+//! use mcds_viz::{render_udg, UdgStyle};
+//!
+//! let udg = Udg::build(vec![Point::new(0.0, 0.0), Point::new(0.8, 0.3)]);
+//! let svg = render_udg(&udg, &UdgStyle::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("<circle"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chart;
+pub mod svg;
+
+use mcds_geom::Aabb;
+use mcds_mis::constructions::Construction;
+use mcds_udg::Udg;
+
+use svg::Canvas;
+
+/// Styling for [`render_udg`].
+#[derive(Debug, Clone)]
+pub struct UdgStyle {
+    /// Nodes drawn as filled dominators (phase-1 output).
+    pub dominators: Vec<usize>,
+    /// Nodes drawn as filled connectors (phase-2 output).
+    pub connectors: Vec<usize>,
+    /// Pixels per unit distance.
+    pub scale: f64,
+    /// Draw the backbone-induced links thicker.
+    pub emphasize_backbone: bool,
+}
+
+impl Default for UdgStyle {
+    fn default() -> Self {
+        UdgStyle {
+            dominators: Vec::new(),
+            connectors: Vec::new(),
+            scale: 60.0,
+            emphasize_backbone: true,
+        }
+    }
+}
+
+/// Renders an instance (and optionally its backbone roles) as SVG.
+///
+/// Plain nodes are small gray dots, dominators black, connectors steel
+/// blue; backbone-internal links are drawn thicker when
+/// [`UdgStyle::emphasize_backbone`] is set.
+pub fn render_udg(udg: &Udg, style: &UdgStyle) -> String {
+    let pts = udg.points();
+    let bb = Aabb::of_points(pts.iter().copied())
+        .unwrap_or_else(|| Aabb::square(1.0))
+        .inflated(0.6);
+    let mut canvas = Canvas::new(bb, style.scale);
+
+    let n = udg.len();
+    let dom = mask(n, &style.dominators);
+    let con = mask(n, &style.connectors);
+    let in_backbone = |v: usize| dom[v] || con[v];
+
+    // Links first (under the nodes).
+    for (u, v) in udg.graph().edges() {
+        let heavy = style.emphasize_backbone && in_backbone(u) && in_backbone(v);
+        let (w, color) = if heavy {
+            (2.2, "#2b5d8a")
+        } else {
+            (0.7, "#c9c9c9")
+        };
+        canvas.line(pts[u], pts[v], color, w);
+    }
+    for (v, &p) in pts.iter().enumerate() {
+        let (r, fill) = if dom[v] {
+            (5.0, "#111111")
+        } else if con[v] {
+            (4.5, "#4682b4")
+        } else {
+            (2.6, "#9a9a9a")
+        };
+        canvas.dot(p, r, fill);
+    }
+    canvas.finish()
+}
+
+/// Renders a tightness construction: the structured set (black squares),
+/// its unit-disk neighborhood (light shading per disk) and the packed
+/// independent points (red dots).
+pub fn render_construction(c: &Construction) -> String {
+    let all = c.set.iter().chain(c.independent.iter()).copied();
+    let bb = Aabb::of_points(all)
+        .unwrap_or_else(|| Aabb::square(1.0))
+        .inflated(1.2);
+    let mut canvas = Canvas::new(bb, 90.0);
+    // Neighborhood disks.
+    for &u in &c.set {
+        canvas.disk(u, 1.0, "#f2e8d8", 0.55, "#d7c9ad");
+    }
+    // Chain links between consecutive set points within distance 1.
+    for (i, &a) in c.set.iter().enumerate() {
+        for &b in &c.set[i + 1..] {
+            if a.dist(b) <= 1.0 + mcds_geom::EPS {
+                canvas.line(a, b, "#6b5b3e", 1.4);
+            }
+        }
+    }
+    for &u in &c.set {
+        canvas.square(u, 4.5, "#111111");
+    }
+    for &p in &c.independent {
+        canvas.dot(p, 3.4, "#c0392b");
+    }
+    canvas.finish()
+}
+
+fn mask(n: usize, nodes: &[usize]) -> Vec<bool> {
+    let mut m = vec![false; n];
+    for &v in nodes {
+        if v < n {
+            m[v] = true;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_geom::Point;
+    use mcds_mis::constructions::{fig1_three_star, fig2_chain};
+
+    #[test]
+    fn udg_render_contains_nodes_and_edges() {
+        let udg = Udg::build(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.8, 0.0),
+            Point::new(5.0, 5.0),
+        ]);
+        let svg = render_udg(&udg, &UdgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn roles_change_colors() {
+        let udg = Udg::build(vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0)]);
+        let style = UdgStyle {
+            dominators: vec![0],
+            connectors: vec![1],
+            ..UdgStyle::default()
+        };
+        let svg = render_udg(&udg, &style);
+        assert!(svg.contains("#111111")); // dominator fill
+        assert!(svg.contains("#4682b4")); // connector fill
+        assert!(svg.contains("#2b5d8a")); // emphasized backbone link
+    }
+
+    #[test]
+    fn construction_render_shows_disks_and_points() {
+        let c = fig1_three_star(0.02);
+        let svg = render_construction(&c);
+        // One shaded disk per set point.
+        assert_eq!(svg.matches("#f2e8d8").count(), c.set.len());
+        // One red dot per independent point (+ none elsewhere).
+        assert_eq!(svg.matches("#c0392b").count(), c.independent.len());
+        // Squares for set points, plus the white background rect.
+        assert_eq!(svg.matches("<rect").count(), c.set.len() + 1);
+    }
+
+    #[test]
+    fn chain_render_links_consecutive_points() {
+        let c = fig2_chain(5, 0.02);
+        let svg = render_construction(&c);
+        // 4 chain links at unit spacing.
+        assert_eq!(svg.matches("#6b5b3e").count(), 4);
+    }
+
+    #[test]
+    fn empty_instance_renders() {
+        let svg = render_udg(&Udg::build(Vec::new()), &UdgStyle::default());
+        assert!(svg.starts_with("<svg"));
+    }
+}

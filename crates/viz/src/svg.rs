@@ -1,0 +1,168 @@
+//! A minimal SVG drawing surface.
+//!
+//! World coordinates are the plane the UDG lives in; the canvas flips the
+//! y-axis (SVG grows downward) and scales to pixels.
+
+use mcds_geom::{Aabb, Point};
+use std::fmt::Write as _;
+
+/// An SVG canvas over a world-coordinate bounding box.
+///
+/// ```
+/// use mcds_geom::{Aabb, Point};
+/// use mcds_viz::svg::Canvas;
+///
+/// let mut c = Canvas::new(Aabb::square(2.0), 50.0);
+/// c.dot(Point::new(1.0, 1.0), 3.0, "#ff0000");
+/// let svg = c.finish();
+/// assert!(svg.contains("circle"));
+/// ```
+#[derive(Debug)]
+pub struct Canvas {
+    world: Aabb,
+    scale: f64,
+    body: String,
+}
+
+impl Canvas {
+    /// Creates a canvas covering `world`, at `scale` pixels per world
+    /// unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn new(world: Aabb, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive and finite, got {scale}"
+        );
+        Canvas {
+            world,
+            scale,
+            body: String::new(),
+        }
+    }
+
+    /// Pixel width of the finished image.
+    pub fn width(&self) -> f64 {
+        self.world.width() * self.scale
+    }
+
+    /// Pixel height of the finished image.
+    pub fn height(&self) -> f64 {
+        self.world.height() * self.scale
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        (
+            (p.x - self.world.min().x) * self.scale,
+            // Flip y: world up = SVG down.
+            (self.world.max().y - p.y) * self.scale,
+        )
+    }
+
+    /// A filled circle of pixel radius `r_px` at world point `p`.
+    pub fn dot(&mut self, p: Point, r_px: f64, fill: &str) {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"  <circle cx="{x:.2}" cy="{y:.2}" r="{r_px:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// A filled square of pixel half-side `half_px` centered at `p`.
+    pub fn square(&mut self, p: Point, half_px: f64, fill: &str) {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"  <rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}"/>"#,
+            x - half_px,
+            y - half_px,
+            2.0 * half_px,
+            2.0 * half_px
+        );
+    }
+
+    /// A world-radius disk (scaled), with fill opacity and stroke — used
+    /// for unit-disk neighborhoods.
+    pub fn disk(&mut self, center: Point, r_world: f64, fill: &str, opacity: f64, stroke: &str) {
+        let (x, y) = self.tx(center);
+        let r = r_world * self.scale;
+        let _ = writeln!(
+            self.body,
+            r#"  <circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="{fill}" fill-opacity="{opacity:.2}" stroke="{stroke}" stroke-width="1"/>"#
+        );
+    }
+
+    /// A line segment between world points.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width_px: f64) {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"  <line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width_px:.2}"/>"#
+        );
+    }
+
+    /// A text label at world point `p`.
+    pub fn label(&mut self, p: Point, text: &str, size_px: f64, fill: &str) {
+        let (x, y) = self.tx(p);
+        let escaped = text
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"  <text x="{x:.2}" y="{y:.2}" font-size="{size_px:.1}" font-family="sans-serif" fill="{fill}">{escaped}</text>"#
+        );
+    }
+
+    /// Finalizes the SVG document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+             viewBox=\"0 0 {:.2} {:.2}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width().max(1.0),
+            self.height().max(1.0),
+            self.width().max(1.0),
+            self.height().max(1.0),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = Canvas::new(Aabb::square(2.0), 10.0);
+        // World (0, 2) = top-left corner -> pixel (0, 0).
+        c.dot(Point::new(0.0, 2.0), 1.0, "#000");
+        let svg = c.finish();
+        assert!(svg.contains(r#"cx="0.00" cy="0.00""#), "{svg}");
+    }
+
+    #[test]
+    fn all_primitives_emit() {
+        let mut c = Canvas::new(Aabb::square(4.0), 25.0);
+        c.dot(Point::new(1.0, 1.0), 2.0, "#111");
+        c.square(Point::new(2.0, 2.0), 3.0, "#222");
+        c.disk(Point::new(2.0, 2.0), 1.0, "#333", 0.5, "#444");
+        c.line(Point::new(0.0, 0.0), Point::new(4.0, 4.0), "#555", 1.0);
+        c.label(Point::new(1.0, 3.0), "a<b&c", 10.0, "#666");
+        let svg = c.finish();
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<rect").count(), 2); // background + square
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("width=\"100\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_panics() {
+        let _ = Canvas::new(Aabb::square(1.0), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests: rendering never panics and always yields
+//! well-formed SVG on arbitrary instances.
+
+use mcds_geom::Point;
+use mcds_udg::Udg;
+use mcds_viz::chart::{LineChart, Series};
+use mcds_viz::{render_udg, UdgStyle};
+use proptest::prelude::*;
+
+fn points_strategy(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (-500i64..500, -500i64..500)
+            .prop_map(|(x, y)| Point::new(x as f64 / 100.0, y as f64 / 100.0)),
+        0..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn udg_render_is_well_formed(pts in points_strategy(60), dom_bits in proptest::collection::vec(any::<bool>(), 60)) {
+        let udg = Udg::build(pts);
+        let dominators: Vec<usize> = (0..udg.len()).filter(|&v| dom_bits[v]).collect();
+        let style = UdgStyle { dominators, ..UdgStyle::default() };
+        let svg = render_udg(&udg, &style);
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per node.
+        prop_assert_eq!(svg.matches("<circle").count(), udg.len());
+        // Balanced: no unclosed elements (all are self-closing here).
+        prop_assert_eq!(svg.matches("/>").count() + svg.matches("</svg>").count(),
+            svg.matches('<').count() - svg.matches("<svg").count() + 1
+            - svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn chart_render_is_well_formed(series_data in proptest::collection::vec(
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..20), 1..5))
+    {
+        let mut chart = LineChart::new("fuzz");
+        chart.axes("x", "y");
+        for (i, pts) in series_data.iter().enumerate() {
+            chart.series(Series::new(&format!("s{i}"), "#123456", pts.clone()));
+        }
+        let svg = chart.render();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert_eq!(svg.matches("<polyline").count(), series_data.len());
+        // All plotted coordinates stay inside the canvas.
+        for cap in svg.split("points=\"").skip(1) {
+            let coords = cap.split('"').next().unwrap();
+            for pair in coords.split_whitespace() {
+                let mut it = pair.split(',');
+                let x: f64 = it.next().unwrap().parse().unwrap();
+                let y: f64 = it.next().unwrap().parse().unwrap();
+                prop_assert!((0.0..=720.0).contains(&x), "x {} out of canvas", x);
+                prop_assert!((0.0..=480.0).contains(&y), "y {} out of canvas", y);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! How backbone size scales with deployment density.
+//!
+//! Sweeps the deployment-square side at fixed node count and reports the
+//! CDS sizes of the paper's algorithms.  Sparse networks need large
+//! backbones (the network is almost a tree); dense networks collapse to
+//! a few dominators.
+//!
+//! Run with: `cargo run --release --example density_sweep`
+
+use mcds::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CdsError> {
+    let n = 250;
+    let trials = 5;
+    println!("n = {n} nodes, unit radio range, {trials} trials per density\n");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "side", "avg deg", "mis", "greedy", "waf", "greedy/waf"
+    );
+    for side in [5.0, 7.0, 9.0, 11.0, 13.0, 15.0] {
+        let mut rng = StdRng::seed_from_u64(side as u64 * 1000 + 9);
+        let mut degs = 0.0;
+        let mut mis_total = 0usize;
+        let mut greedy_total = 0usize;
+        let mut waf_total = 0usize;
+        let mut count = 0usize;
+        for _ in 0..trials {
+            let udg = match mcds::udg::gen::connected_uniform(&mut rng, n, side, 30) {
+                Some(u) => u,
+                None => mcds::udg::gen::giant_component_instance(&mut rng, n, side),
+            };
+            let g = udg.graph();
+            if g.num_nodes() < 2 {
+                continue;
+            }
+            count += 1;
+            degs += g.avg_degree();
+            mis_total += BfsMis::compute(g, 0).len();
+            greedy_total += greedy_cds(g)?.len();
+            waf_total += waf_cds(g)?.len();
+        }
+        let c = count as f64;
+        println!(
+            "{side:>6.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>10.3}",
+            degs / c,
+            mis_total as f64 / c,
+            greedy_total as f64 / c,
+            waf_total as f64 / c,
+            greedy_total as f64 / waf_total as f64,
+        );
+    }
+    println!("\nshape: denser networks (small side) -> tiny backbones; the greedy");
+    println!("connector phase consistently saves nodes over the WAF tree connectors.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! A gallery of the paper's tightness constructions (Figures 1 and 2),
+//! printed as coordinates and exported as Graphviz DOT.
+//!
+//! Run with: `cargo run --example tightness_gallery`
+//! Render with: `neato -n2 -Tpng fig1_three_star.dot -o fig1.png`
+
+use mcds::geom::packing::phi;
+use mcds::mis::constructions::{fig1_three_star, fig1_two_star, fig2_chain, Construction};
+use mcds::prelude::*;
+
+fn show(name: &str, c: &Construction) {
+    println!("=== {name} ===");
+    println!(
+        "set of {} points, {} independent points packed (bound phi = {}):",
+        c.set.len(),
+        c.independent.len(),
+        if c.set.len() <= 6 {
+            phi(c.set.len()).to_string()
+        } else {
+            "-".into()
+        },
+    );
+    for (i, p) in c.set.iter().enumerate() {
+        println!("  set[{i}]  = ({:+.4}, {:+.4})", p.x, p.y);
+    }
+    for (i, p) in c.independent.iter().enumerate() {
+        println!("  ind[{i:2}] = ({:+.4}, {:+.4})", p.x, p.y);
+    }
+    c.verify().expect("construction must verify");
+    println!(
+        "verified: strictly independent (margin {:.2e}), all inside the neighborhood\n",
+        c.margin()
+    );
+}
+
+fn export_dot(name: &str, c: &Construction) {
+    // Render the union of set and independent points as a UDG (scaled up
+    // so Graphviz pixel coordinates look reasonable).
+    let mut pts: Vec<Point> = c.set.clone();
+    pts.extend(c.independent.iter().copied());
+    let udg = Udg::build(pts.clone());
+    let style = mcds::graph::dot::DotStyle {
+        dominators: (0..c.set.len()).collect(),
+        connectors: vec![],
+        positions: pts.iter().map(|p| (p.x * 120.0, p.y * 120.0)).collect(),
+    };
+    let dot = mcds::graph::dot::to_dot(udg.graph(), name, &style);
+    let path = format!("{name}.dot");
+    std::fs::write(&path, dot).expect("write dot file");
+    println!("wrote {path}");
+}
+
+fn export_svg(name: &str, c: &Construction) {
+    let svg = mcds::viz::render_construction(c);
+    let path = format!("{name}.svg");
+    std::fs::write(&path, svg).expect("write svg file");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let eps = 0.02;
+    show(
+        "Fig. 1 left: 2-star with 8 independent points",
+        &fig1_two_star(eps),
+    );
+    show(
+        "Fig. 1 right: 3-star with 12 independent points",
+        &fig1_three_star(eps),
+    );
+    show(
+        "Fig. 2: 6-chain with 21 independent points",
+        &fig2_chain(6, eps),
+    );
+
+    export_dot("fig1_three_star", &fig1_three_star(eps));
+    export_dot("fig2_chain6", &fig2_chain(6, eps));
+    export_svg("fig1_two_star", &fig1_two_star(eps));
+    export_svg("fig1_three_star", &fig1_three_star(eps));
+    export_svg("fig2_chain6", &fig2_chain(6, eps));
+}

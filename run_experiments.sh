@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact of the reproduction (E1-E16).
+# Usage: ./run_experiments.sh [--quick] [outdir]   (default outdir: results)
+set -euo pipefail
+quick=""
+out="results"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    *) out="$arg" ;;
+  esac
+done
+exps=(exp_fig1 exp_fig2 exp_bounds exp_waf_ratio exp_greedy_ratio exp_compare
+      exp_distributed exp_conjecture exp_lemmas exp_area exp_root_ablation
+      exp_broadcast exp_routing exp_mobility exp_election exp_anatomy)
+for e in "${exps[@]}"; do
+  echo "### $e"
+  cargo run --quiet --release -p mcds-bench --bin "$e" -- $quick --out "$out"
+  echo
+done
+echo "All experiments completed; CSVs and figures in $out/"
