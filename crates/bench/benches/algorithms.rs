@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcds_cds::algorithms::Algorithm;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use mcds_udg::{gen, Udg};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn fixed_instance(n: usize) -> Udg {

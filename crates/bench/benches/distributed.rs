@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcds_distsim::pipeline::run_waf_distributed;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use mcds_udg::gen;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -20,10 +20,10 @@ use mcds_bench::{f2, ExpConfig, Table};
 use mcds_geom::packing::{connected_set_bound, greedy_pack_in_neighborhood};
 use mcds_geom::{Aabb, Point};
 use mcds_mis::constructions::fig2_chain;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::seq::SliceRandom;
+use mcds_rng::{Rng, SeedableRng};
 use mcds_udg::{gen, Udg};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let cfg = ExpConfig::from_args();

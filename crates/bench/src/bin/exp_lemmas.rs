@@ -18,8 +18,8 @@
 
 use mcds_bench::{ExpConfig, Table};
 use mcds_mis::lemmas::{stress_lemma1, stress_lemma2};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::{Rng, SeedableRng};
 
 fn main() {
     let cfg = ExpConfig::from_args();

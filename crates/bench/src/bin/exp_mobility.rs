@@ -21,9 +21,9 @@ use mcds_bench::{f2, f3, stats, ExpConfig, Table};
 use mcds_cds::algorithms::Algorithm;
 use mcds_geom::Aabb;
 use mcds_graph::properties;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use mcds_udg::mobility::{survival_fraction, RandomWaypoint};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = ExpConfig::from_args();

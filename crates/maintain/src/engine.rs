@@ -1,0 +1,809 @@
+//! The maintenance engine: incremental backbone repair under churn.
+//!
+//! [`Maintainer`] holds the live population (stable [`NodeId`]s with
+//! positions) and the current backbone (dominators + connectors, the
+//! two-phased structure of the paper).  Each [`Maintainer::apply`] call
+//! mutates the topology by one [`TopologyEvent`] and repairs the backbone:
+//!
+//! 1. **Local MIS re-election** — dominators are repaired first-fit
+//!    inside the event's 2-hop damage region only: adjacent dominator
+//!    pairs (created by motion/joins) are resolved toward the smaller id,
+//!    then undominated nodes are promoted in id order.  Outside the
+//!    region nothing changes, mirroring how a distributed protocol would
+//!    localize the update.
+//! 2. **Confined connector patch** — if `G[I ∪ C]` fell apart, the
+//!    paper's Section-IV max-gain greedy runs with candidates confined to
+//!    the damaged region.
+//! 3. **Fallback** — when the confined greedy stalls, the repaired set
+//!    fails verification, or its size drifts past
+//!    [`MaintainConfig::drift_threshold`] × the fresh
+//!    [`mcds_cds::greedy_cds`] baseline, the engine recomputes from
+//!    scratch and adopts the fresh backbone.
+//!
+//! Every event yields a [`RepairReport`] (locality, role deltas,
+//! decision, size vs. baseline, wall time), and every maintained set is
+//! checked against
+//! [`mcds_graph::properties::is_connected_dominating_set`].
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mcds_cds::greedy_cds;
+use mcds_geom::Point;
+use mcds_graph::{node_mask, properties, subsets, traversal, Graph};
+use mcds_udg::mobility::survival_fraction;
+use mcds_udg::Udg;
+
+use crate::event::{NodeId, TopologyEvent};
+
+/// Tunables of the maintenance engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintainConfig {
+    /// Communication radius of the unit-disk model (the paper normalizes
+    /// to 1.0).
+    pub radius: f64,
+    /// Recompute from scratch when `maintained size / baseline size`
+    /// exceeds this factor.  Values `≥ 1`; the differential test suite
+    /// relies on this staying `≤ 2`.
+    pub drift_threshold: f64,
+    /// Re-verify the maintained set after every event and fall back to a
+    /// recompute if verification fails (cheap; leave on outside of
+    /// benchmarks chasing the last microsecond).
+    pub verify: bool,
+}
+
+impl Default for MaintainConfig {
+    fn default() -> Self {
+        MaintainConfig {
+            radius: 1.0,
+            drift_threshold: 1.75,
+            verify: true,
+        }
+    }
+}
+
+/// Why the engine abandoned local repair for a full recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeReason {
+    /// No previous backbone existed (first event, or the backbone's
+    /// component vanished entirely).
+    ColdStart,
+    /// The confined max-gain greedy could not merge the remaining
+    /// components (the damage exceeded the local candidate pool).
+    Stalled,
+    /// The locally repaired set failed CDS verification.
+    Invalid,
+    /// The repaired set was valid but drifted past
+    /// [`MaintainConfig::drift_threshold`] × the fresh baseline.
+    Drift,
+}
+
+/// The repair-vs-recompute outcome of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairDecision {
+    /// Local repair succeeded; the previous backbone was patched in
+    /// place.
+    Repaired,
+    /// The engine recomputed from scratch with [`mcds_cds::greedy_cds`].
+    Recomputed(RecomputeReason),
+}
+
+/// Per-event accounting emitted by [`Maintainer::apply`].
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Event sequence number (0-based).
+    pub seq: usize,
+    /// The applied event (joins carry the id the engine assigned).
+    pub event: TopologyEvent,
+    /// The id assigned to a join, echoed for all event kinds.
+    pub node: NodeId,
+    /// Population size after the event.
+    pub alive: usize,
+    /// Size of the giant component the backbone serves.
+    pub giant: usize,
+    /// Nodes in the damage region the local repair inspected — the
+    /// *repair locality* (0 for recomputes decided before repair).
+    pub nodes_touched: usize,
+    /// Dominators promoted by this event.
+    pub dominators_added: usize,
+    /// Dominators demoted or lost by this event.
+    pub dominators_removed: usize,
+    /// Connectors added by this event.
+    pub connectors_added: usize,
+    /// Connectors dropped by this event.
+    pub connectors_removed: usize,
+    /// Repair-vs-recompute decision.
+    pub decision: RepairDecision,
+    /// Maintained CDS size on the giant component after the event
+    /// (backbone remnants preserved for minor components are excluded —
+    /// the baseline serves the giant alone, so this is the comparable
+    /// number).
+    pub cds_size: usize,
+    /// Fresh [`mcds_cds::greedy_cds`] size on the same snapshot.
+    pub baseline_size: usize,
+    /// Fraction of the previous backbone surviving into the new one
+    /// (1.0 when there was no previous backbone).
+    pub survival: f64,
+    /// Wall-clock time spent applying the event (repair + verification,
+    /// excluding the baseline solve).
+    pub wall: Duration,
+    /// Whether the maintained set passed CDS verification on the new
+    /// snapshot (always checked, even with `verify` off — `verify` only
+    /// controls whether a failure triggers the fallback).
+    pub valid: bool,
+}
+
+impl RepairReport {
+    /// Maintained size over fresh-baseline size (1.0 when both are
+    /// empty).
+    pub fn size_ratio(&self) -> f64 {
+        if self.baseline_size == 0 {
+            1.0
+        } else {
+            self.cds_size as f64 / self.baseline_size as f64
+        }
+    }
+}
+
+/// The event-driven CDS maintenance engine.
+///
+/// ```
+/// use mcds_geom::Point;
+/// use mcds_maintain::{MaintainConfig, Maintainer, TopologyEvent};
+///
+/// // A 3-node chain: the first-fit MIS takes both endpoints and the
+/// // middle node connects them, so every node has a backbone role.
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0), Point::new(1.6, 0.0)];
+/// let mut engine = Maintainer::with_population(MaintainConfig::default(), pts);
+/// assert_eq!(engine.backbone(), vec![0, 1, 2]);
+///
+/// // A fourth node joins at the far end; the maintained set stays a CDS.
+/// let report = engine.apply(TopologyEvent::Join { pos: Point::new(2.4, 0.0) });
+/// assert!(report.valid);
+/// assert_eq!(report.alive, 4);
+/// assert!(report.size_ratio() <= 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Maintainer {
+    cfg: MaintainConfig,
+    next_id: NodeId,
+    nodes: BTreeMap<NodeId, Point>,
+    /// Backbone roles as stable ids (sorted, disjoint).
+    dominators: Vec<NodeId>,
+    connectors: Vec<NodeId>,
+    events_applied: usize,
+}
+
+/// One dense snapshot of the live topology restricted to its giant
+/// component, with the id translation tables the repair needs.
+struct Snapshot {
+    /// `ids[local] = stable id` over the giant component, ascending.
+    ids: Vec<NodeId>,
+    /// The giant-component graph over `ids`.
+    graph: Graph,
+}
+
+impl Snapshot {
+    fn local(&self, id: NodeId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+}
+
+impl Maintainer {
+    /// Creates an engine with no nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured radius is not positive and finite, or the
+    /// drift threshold is below 1.
+    pub fn new(cfg: MaintainConfig) -> Self {
+        assert!(
+            cfg.radius.is_finite() && cfg.radius > 0.0,
+            "radius must be positive and finite, got {}",
+            cfg.radius
+        );
+        assert!(
+            cfg.drift_threshold >= 1.0,
+            "drift threshold below 1 would recompute every event, got {}",
+            cfg.drift_threshold
+        );
+        Maintainer {
+            cfg,
+            next_id: 0,
+            nodes: BTreeMap::new(),
+            dominators: Vec::new(),
+            connectors: Vec::new(),
+            events_applied: 0,
+        }
+    }
+
+    /// Creates an engine seeded with a whole population at once (ids
+    /// `0..points.len()`) and an initial backbone computed from scratch.
+    pub fn with_population(cfg: MaintainConfig, points: Vec<Point>) -> Self {
+        let mut engine = Maintainer::new(cfg);
+        for p in points {
+            let id = engine.next_id;
+            engine.next_id += 1;
+            engine.nodes.insert(id, p);
+        }
+        if let Some(snap) = engine.snapshot() {
+            engine.adopt_fresh(&snap);
+        }
+        engine
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MaintainConfig {
+        &self.cfg
+    }
+
+    /// Live nodes as `(stable id, position)`, ascending by id — the shape
+    /// [`crate::ChurnGen::next_event`] consumes.
+    pub fn alive(&self) -> Vec<(NodeId, Point)> {
+        self.nodes.iter().map(|(&id, &p)| (id, p)).collect()
+    }
+
+    /// Number of live nodes.
+    pub fn population(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The maintained backbone (dominators ∪ connectors) as sorted stable
+    /// ids.
+    pub fn backbone(&self) -> Vec<NodeId> {
+        let mut all = self.dominators.clone();
+        all.extend(self.connectors.iter().copied());
+        all.sort_unstable();
+        all
+    }
+
+    /// The phase-1 dominators (sorted stable ids).
+    pub fn dominators(&self) -> &[NodeId] {
+        &self.dominators
+    }
+
+    /// The phase-2 connectors (sorted stable ids, disjoint from the
+    /// dominators).
+    pub fn connectors(&self) -> &[NodeId] {
+        &self.connectors
+    }
+
+    /// Rebuilds the dense giant-component snapshot, or `None` when no
+    /// nodes are alive.
+    fn snapshot(&self) -> Option<Snapshot> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let pts: Vec<Point> = ids.iter().map(|id| self.nodes[id]).collect();
+        let udg = Udg::with_radius(pts, self.cfg.radius);
+        let giant = traversal::largest_component(udg.graph());
+        let giant_ids: Vec<NodeId> = giant.iter().map(|&i| ids[i]).collect();
+        let sub = udg.restricted_to(&giant);
+        Some(Snapshot {
+            ids: giant_ids,
+            graph: sub.graph().clone(),
+        })
+    }
+
+    /// Backbone nodes living on the snapshot's giant component.
+    fn giant_backbone_size(&self, snap: &Snapshot) -> usize {
+        self.backbone()
+            .iter()
+            .filter(|&&id| snap.local(id).is_some())
+            .count()
+    }
+
+    /// Replaces the backbone with a fresh `greedy_cds` of the snapshot,
+    /// returning its size.
+    fn adopt_fresh(&mut self, snap: &Snapshot) -> usize {
+        let cds = greedy_cds(&snap.graph).expect("giant component is connected and non-empty");
+        self.dominators = cds.dominators().iter().map(|&v| snap.ids[v]).collect();
+        self.connectors = cds.connectors().iter().map(|&v| snap.ids[v]).collect();
+        cds.len()
+    }
+
+    /// Applies one topology event, repairs the backbone, and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Leave`/`Move` references a dead node, or a position is
+    /// non-finite.
+    pub fn apply(&mut self, event: TopologyEvent) -> RepairReport {
+        let started = Instant::now();
+        let prev_backbone = self.backbone();
+        let seq = self.events_applied;
+        self.events_applied += 1;
+
+        // 1. Mutate the population, collecting the stable ids whose
+        //    neighborhoods changed (the damage seeds).
+        let (node, seeds) = self.mutate(&event);
+
+        // 2. Dense giant-component snapshot + fresh baseline.
+        let Some(snap) = self.snapshot() else {
+            // Population emptied out: the empty backbone is trivially
+            // valid for the empty graph.
+            self.dominators.clear();
+            self.connectors.clear();
+            return RepairReport {
+                seq,
+                event,
+                node,
+                alive: 0,
+                giant: 0,
+                nodes_touched: 0,
+                dominators_added: 0,
+                dominators_removed: prev_backbone.len(),
+                connectors_added: 0,
+                connectors_removed: 0,
+                decision: RepairDecision::Recomputed(RecomputeReason::ColdStart),
+                cds_size: 0,
+                baseline_size: 0,
+                survival: if prev_backbone.is_empty() { 1.0 } else { 0.0 },
+                wall: started.elapsed(),
+                valid: true,
+            };
+        };
+        let baseline_size = greedy_cds(&snap.graph)
+            .expect("giant component is connected and non-empty")
+            .len();
+
+        // 3. Map the surviving backbone into the snapshot and repair.
+        let prev_dom: Vec<NodeId> = self.dominators.clone();
+        let prev_con: Vec<NodeId> = self.connectors.clone();
+        let had_backbone = !prev_backbone.is_empty();
+        let (decision, nodes_touched) = if !had_backbone {
+            (RepairDecision::Recomputed(RecomputeReason::ColdStart), 0)
+        } else {
+            match self.repair_local(&snap, &seeds) {
+                Ok(touched) => {
+                    // Drift is judged on the giant component only — the
+                    // baseline serves it alone, and backbone remnants
+                    // preserved for minor components must not count
+                    // against the repair.
+                    let giant_size = self.giant_backbone_size(&snap);
+                    let ratio = if baseline_size == 0 {
+                        1.0
+                    } else {
+                        giant_size as f64 / baseline_size as f64
+                    };
+                    if ratio > self.cfg.drift_threshold {
+                        (RepairDecision::Recomputed(RecomputeReason::Drift), touched)
+                    } else {
+                        (RepairDecision::Repaired, touched)
+                    }
+                }
+                Err(reason) => (RepairDecision::Recomputed(reason), 0),
+            }
+        };
+        if let RepairDecision::Recomputed(_) = decision {
+            self.adopt_fresh(&snap);
+        }
+
+        // 4. Always verify the maintained set against the snapshot.
+        let backbone_local: Vec<usize> = self
+            .backbone()
+            .iter()
+            .filter_map(|&id| snap.local(id))
+            .collect();
+        let valid = properties::is_connected_dominating_set(&snap.graph, &backbone_local);
+        let wall = started.elapsed();
+
+        let new_backbone = self.backbone();
+        let dominators_added = diff_count(&self.dominators, &prev_dom);
+        let dominators_removed = diff_count(&prev_dom, &self.dominators);
+        let connectors_added = diff_count(&self.connectors, &prev_con);
+        let connectors_removed = diff_count(&prev_con, &self.connectors);
+        RepairReport {
+            seq,
+            event,
+            node,
+            alive: self.nodes.len(),
+            giant: snap.ids.len(),
+            nodes_touched,
+            dominators_added,
+            dominators_removed,
+            connectors_added,
+            connectors_removed,
+            decision,
+            cds_size: self.giant_backbone_size(&snap),
+            baseline_size,
+            survival: if had_backbone {
+                survival_fraction(&prev_backbone, &new_backbone)
+            } else {
+                1.0
+            },
+            wall,
+            valid,
+        }
+    }
+
+    /// Applies the population mutation and returns `(event node id, seed
+    /// ids whose neighborhoods changed)`.
+    fn mutate(&mut self, event: &TopologyEvent) -> (NodeId, Vec<NodeId>) {
+        match *event {
+            TopologyEvent::Join { pos } => {
+                assert!(pos.is_finite(), "join position must be finite");
+                let id = self.next_id;
+                self.next_id += 1;
+                self.nodes.insert(id, pos);
+                (id, vec![id])
+            }
+            TopologyEvent::Leave { node } => {
+                let pos = self
+                    .nodes
+                    .remove(&node)
+                    .unwrap_or_else(|| panic!("leave of dead node {node}"));
+                self.dominators.retain(|&v| v != node);
+                self.connectors.retain(|&v| v != node);
+                // The departed node's old neighbors lost an edge each.
+                let seeds = self.ids_within(pos, self.cfg.radius);
+                (node, seeds)
+            }
+            TopologyEvent::Move { node, to } => {
+                assert!(to.is_finite(), "move target must be finite");
+                let old = *self
+                    .nodes
+                    .get(&node)
+                    .unwrap_or_else(|| panic!("move of dead node {node}"));
+                // Damage spans both the detach site (old neighbors) and
+                // the attach site (new neighbors).
+                let mut seeds = self.ids_within(old, self.cfg.radius);
+                self.nodes.insert(node, to);
+                seeds.extend(self.ids_within(to, self.cfg.radius));
+                seeds.push(node);
+                seeds.sort_unstable();
+                seeds.dedup();
+                (node, seeds)
+            }
+        }
+    }
+
+    /// Live ids within `radius` of `center` (including a node exactly at
+    /// `center`).
+    fn ids_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
+        let r_sq = radius * radius + mcds_geom::EPS;
+        self.nodes
+            .iter()
+            .filter(|(_, &p)| p.dist_sq(center) <= r_sq)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Attempts the local repair on the snapshot.  On success stores the
+    /// repaired roles (stable ids) and returns the damage-region size; on
+    /// failure returns the reason and leaves roles untouched (the caller
+    /// recomputes).
+    fn repair_local(
+        &mut self,
+        snap: &Snapshot,
+        seeds: &[NodeId],
+    ) -> Result<usize, RecomputeReason> {
+        let g = &snap.graph;
+        let n = g.num_nodes();
+
+        // Previous roles restricted to the giant component, local
+        // indices.
+        let mut is_dom = vec![false; n];
+        for id in &self.dominators {
+            if let Some(v) = snap.local(*id) {
+                is_dom[v] = true;
+            }
+        }
+        let mut is_con = vec![false; n];
+        for id in &self.connectors {
+            if let Some(v) = snap.local(*id) {
+                is_con[v] = true;
+            }
+        }
+        if !is_dom.iter().any(|&d| d) {
+            // The entire dominator set fell off this component; nothing
+            // to repair locally.
+            return Err(RecomputeReason::ColdStart);
+        }
+
+        // Damage region: the 2-hop closed neighborhood of the seeds, then
+        // one more ring for domination checks (a demoted dominator
+        // undominates only its direct neighbors, which sit within one hop
+        // of the region).
+        let seed_local: Vec<usize> = seeds.iter().filter_map(|&id| snap.local(id)).collect();
+        let region = expand(g, &seed_local, 2);
+        let check_zone = expand(g, &region, 1);
+
+        // Phase 1a: resolve independence violations inside the region
+        // toward the smaller id (new dominator adjacencies can only
+        // involve region nodes — edges change only at the event site).
+        // Dominators outside the region are immutable, so a region
+        // dominator adjacent to one must always yield.
+        for &v in &region {
+            if !is_dom[v] {
+                continue;
+            }
+            let demote = g
+                .neighbors_iter(v)
+                .any(|u| is_dom[u] && (u < v || region.binary_search(&u).is_err()));
+            if demote {
+                is_dom[v] = false;
+            }
+        }
+
+        // Phase 1b: first-fit re-election — promote undominated nodes of
+        // the widened zone in ascending id order (the first-fit tie-break
+        // of the paper's phase 1).
+        for &v in &check_zone {
+            let dominated = is_dom[v] || g.neighbors_iter(v).any(|u| is_dom[u]);
+            if !dominated {
+                is_dom[v] = true;
+                is_con[v] = false;
+            }
+        }
+
+        // The MIS must dominate the whole component; a miss here means
+        // the damage model was too small for this event — recompute.
+        let dom_list: Vec<usize> = (0..n).filter(|&v| is_dom[v]).collect();
+        if !properties::is_dominating_set(g, &dom_list) {
+            return Err(RecomputeReason::Invalid);
+        }
+
+        // Phase 2: patch connectivity of G[I ∪ C] with max-gain
+        // connectors confined to the damaged region (one extra ring so a
+        // bridge just outside the region is still reachable).
+        let mut mask: Vec<bool> = (0..n).map(|v| is_dom[v] || is_con[v]).collect();
+        let mut dsu = subsets::components_dsu(g, &mask);
+        let mut q = subsets::count_components(g, &mask);
+        let candidate_zone = expand(g, &check_zone, 1);
+        while q > 1 {
+            let mut best: Option<(usize, usize)> = None; // (count, node)
+            for &w in &candidate_zone {
+                if mask[w] {
+                    continue;
+                }
+                let adj = subsets::adjacent_components(g, &mask, &mut dsu, w);
+                if adj.len() >= 2 {
+                    match best {
+                        Some((c, _)) if c >= adj.len() => {}
+                        _ => best = Some((adj.len(), w)),
+                    }
+                }
+            }
+            let Some((count, w)) = best else {
+                return Err(RecomputeReason::Stalled);
+            };
+            mask[w] = true;
+            is_con[w] = true;
+            for u in g.neighbors_iter(w) {
+                if mask[u] {
+                    dsu.union(w, u);
+                }
+            }
+            q = q + 1 - count;
+        }
+
+        // Phase 3: drop connectors in the damage region that the repair
+        // made redundant (highest id first, re-checking connectivity
+        // after each removal), so local churn cannot ratchet the backbone
+        // size upward.
+        for &c in check_zone.iter().rev() {
+            if !is_con[c] {
+                continue;
+            }
+            mask[c] = false;
+            if subsets::is_connected_subset(g, &mask) {
+                is_con[c] = false;
+            } else {
+                mask[c] = true;
+            }
+        }
+
+        // Verify before committing (cheap; guards analysis gaps).
+        let all_local: Vec<usize> = (0..n).filter(|&v| mask[v]).collect();
+        if self.cfg.verify && !properties::is_connected_dominating_set(g, &all_local) {
+            return Err(RecomputeReason::Invalid);
+        }
+
+        // Commit: translate local roles back to stable ids, preserving
+        // backbone nodes that live outside this giant component (they
+        // keep serving their own components and matter for survival
+        // accounting if the components remerge).
+        let giant_set = &snap.ids;
+        let keep_outside = |ids: &[NodeId]| -> Vec<NodeId> {
+            ids.iter()
+                .copied()
+                .filter(|id| giant_set.binary_search(id).is_err() && self.nodes.contains_key(id))
+                .collect()
+        };
+        let mut new_dom = keep_outside(&self.dominators);
+        new_dom.extend((0..n).filter(|&v| is_dom[v]).map(|v| snap.ids[v]));
+        new_dom.sort_unstable();
+        let mut new_con = keep_outside(&self.connectors);
+        new_con.extend((0..n).filter(|&v| is_con[v]).map(|v| snap.ids[v]));
+        new_con.sort_unstable();
+        self.dominators = new_dom;
+        self.connectors = new_con;
+        Ok(check_zone.len())
+    }
+}
+
+/// The `hops`-hop closed neighborhood of `seed` in `g`, sorted.
+fn expand(g: &Graph, seed: &[usize], hops: usize) -> Vec<usize> {
+    let mut mask = node_mask(g.num_nodes(), seed);
+    let mut frontier: Vec<usize> = seed.to_vec();
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for u in g.neighbors_iter(v) {
+                if !mask[u] {
+                    mask[u] = true;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    (0..g.num_nodes()).filter(|&v| mask[v]).collect()
+}
+
+/// How many elements of sorted `a` are missing from sorted `b`.
+fn diff_count(a: &[NodeId], b: &[NodeId]) -> usize {
+    a.iter().filter(|v| b.binary_search(v).is_err()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
+    }
+
+    fn assert_valid(engine: &Maintainer) {
+        let snap = engine.snapshot().expect("population non-empty");
+        let local: Vec<usize> = engine
+            .backbone()
+            .iter()
+            .filter_map(|&id| snap.local(id))
+            .collect();
+        assert!(
+            properties::is_connected_dominating_set(&snap.graph, &local),
+            "maintained set {:?} is not a CDS",
+            engine.backbone()
+        );
+    }
+
+    #[test]
+    fn seeding_builds_a_valid_backbone() {
+        let engine = Maintainer::with_population(MaintainConfig::default(), chain(9, 0.9));
+        assert_eq!(engine.population(), 9);
+        assert!(!engine.backbone().is_empty());
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn join_extends_the_chain() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(3, 0.8));
+        let report = engine.apply(TopologyEvent::Join {
+            pos: Point::new(2.4, 0.0),
+        });
+        assert!(report.valid);
+        assert_eq!(report.alive, 4);
+        assert_eq!(report.node, 3);
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn leave_of_backbone_node_is_repaired() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(7, 0.9));
+        let backbone = engine.backbone();
+        // Kill an interior backbone node.
+        let victim = *backbone
+            .iter()
+            .find(|&&v| v != 0 && v != 6)
+            .expect("a 7-chain backbone has interior nodes");
+        let report = engine.apply(TopologyEvent::Leave { node: victim });
+        assert!(report.valid);
+        assert!(!engine.backbone().contains(&victim));
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn leave_of_non_backbone_node_is_cheap() {
+        // A 5-chain backbone uses every chain node, so hang an extra leaf
+        // off node 0 that no role needs.
+        let mut pts = chain(5, 0.9);
+        pts.push(Point::new(0.0, 0.5));
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), pts);
+        let bystander = 5;
+        assert!(!engine.backbone().contains(&bystander));
+        let report = engine.apply(TopologyEvent::Leave { node: bystander });
+        assert!(report.valid);
+        assert_eq!(report.decision, RepairDecision::Repaired);
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn move_within_range_keeps_validity() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(6, 0.9));
+        let report = engine.apply(TopologyEvent::Move {
+            node: 2,
+            to: Point::new(1.7, 0.3),
+        });
+        assert!(report.valid);
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn population_can_empty_out() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(2, 0.5));
+        let r1 = engine.apply(TopologyEvent::Leave { node: 0 });
+        assert!(r1.valid);
+        let r2 = engine.apply(TopologyEvent::Leave { node: 1 });
+        assert!(r2.valid);
+        assert_eq!(engine.population(), 0);
+        assert!(engine.backbone().is_empty());
+        // And it can repopulate.
+        let r3 = engine.apply(TopologyEvent::Join {
+            pos: Point::new(0.0, 0.0),
+        });
+        assert!(r3.valid);
+        assert_eq!(engine.backbone().len(), 1);
+    }
+
+    #[test]
+    fn report_accounts_roles_and_ratio() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(9, 0.9));
+        let report = engine.apply(TopologyEvent::Join {
+            pos: Point::new(7.2 + 0.9, 0.0),
+        });
+        assert!(report.size_ratio() >= 1.0 - 1e-9);
+        assert!(report.size_ratio() <= engine.config().drift_threshold + 1e-9);
+        assert!(report.baseline_size > 0);
+        assert_eq!(report.cds_size, engine.backbone().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn leave_of_unknown_node_panics() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(3, 0.8));
+        let _ = engine.apply(TopologyEvent::Leave { node: 99 });
+    }
+
+    #[test]
+    #[should_panic(expected = "drift threshold")]
+    fn bad_drift_threshold_panics() {
+        let _ = Maintainer::new(MaintainConfig {
+            drift_threshold: 0.5,
+            ..MaintainConfig::default()
+        });
+    }
+
+    #[test]
+    fn split_and_remerge_is_survived() {
+        // Two clusters joined by a mobile bridge node; moving the bridge
+        // away splits the topology, moving it back remerges.
+        let mut pts = chain(3, 0.8); // left cluster at x = 0.0, 0.8, 1.6
+        pts.extend(
+            chain(3, 0.8)
+                .into_iter()
+                .map(|p| Point::new(p.x + 4.0, 0.0)),
+        );
+        pts.push(Point::new(2.8, 0.0)); // bridge node, id 6 (reaches x=1.6 at dist 1.2? no)
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), pts);
+        // Bridge at 2.4 connects 1.6 and 3.2? 2.8 -> dist to 1.6 is 1.2 > 1:
+        // the seed topology is split; the engine serves the giant.
+        let r = engine.apply(TopologyEvent::Move {
+            node: 6,
+            to: Point::new(2.4, 0.0),
+        });
+        assert!(r.valid);
+        // 2.4 reaches 1.6 (dist 0.8) but not 4.0 (dist 1.6): still split.
+        let r2 = engine.apply(TopologyEvent::Join {
+            pos: Point::new(3.3, 0.0),
+        });
+        // Now 2.4 - 3.3 - 4.0 chains the clusters: one component of 8.
+        assert!(r2.valid);
+        assert_eq!(r2.giant, 8);
+        assert_valid(&engine);
+    }
+}

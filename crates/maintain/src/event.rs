@@ -1,0 +1,313 @@
+//! Topology events and their sources.
+//!
+//! The maintenance engine consumes a stream of [`TopologyEvent`]s — the
+//! primitive ways a wireless ad hoc topology churns: a node powers on
+//! ([`TopologyEvent::Join`]), crashes or leaves ([`TopologyEvent::Leave`]),
+//! or moves ([`TopologyEvent::Move`]).  Two event sources are provided:
+//!
+//! * [`ChurnGen`] — a synthetic, seeded generator mixing the three kinds
+//!   with configurable rates, for stress tests and experiments,
+//! * [`waypoint_epoch`] — an adapter sampling a
+//!   [`mcds_udg::mobility::RandomWaypoint`] walk at epoch boundaries and
+//!   emitting one `Move` per node that actually moved.
+
+use mcds_geom::{Aabb, Point};
+use mcds_rng::Rng;
+use mcds_udg::mobility::RandomWaypoint;
+
+/// Stable node identity, preserved across events.
+///
+/// Dense graph indices are reassigned every snapshot; `NodeId`s are not —
+/// they are what lets the engine (and its metrics) track a backbone node
+/// through arbitrary join/leave interleavings.
+pub type NodeId = usize;
+
+/// One atomic change to the topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyEvent {
+    /// A new node powers on at `pos` (the engine assigns its [`NodeId`]).
+    Join {
+        /// Deployment position of the new node.
+        pos: Point,
+    },
+    /// Node `node` crashes or leaves the network.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// Node `node` moves to `to`.
+    Move {
+        /// The moving node.
+        node: NodeId,
+        /// Its new position.
+        to: Point,
+    },
+}
+
+/// Rates and shape of synthetic churn.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Deployment region for joins and moves.
+    pub region: Aabb,
+    /// Probability that an event is a join.
+    pub p_join: f64,
+    /// Probability that an event is a leave/crash.
+    pub p_leave: f64,
+    /// Maximum displacement of a single move event (a move jumps the node
+    /// uniformly within this radius, clamped to the region).
+    pub move_radius: f64,
+    /// Leaves are suppressed (turned into moves) while the population is
+    /// at or below this floor, so churn cannot drain the network.
+    pub min_population: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            region: Aabb::square(6.0),
+            p_join: 0.1,
+            p_leave: 0.1,
+            move_radius: 0.5,
+            min_population: 4,
+        }
+    }
+}
+
+/// A seeded synthetic churn source.
+///
+/// Each call to [`ChurnGen::next_event`] draws one event against the
+/// caller's current population (the engine's alive nodes), so the stream
+/// always references nodes that exist.
+///
+/// ```
+/// use mcds_maintain::{ChurnConfig, ChurnGen};
+/// use mcds_rng::{rngs::StdRng, SeedableRng};
+/// use mcds_geom::Point;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut churn = ChurnGen::new(ChurnConfig::default());
+/// let alive = vec![(0, Point::new(1.0, 1.0)), (1, Point::new(2.0, 2.0))];
+/// let _event = churn.next_event(&mut rng, &alive);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnGen {
+    cfg: ChurnConfig,
+}
+
+impl ChurnGen {
+    /// Creates a generator with the given rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or sum past 1, or
+    /// if `move_radius` is not positive and finite.
+    pub fn new(cfg: ChurnConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.p_join)
+                && (0.0..=1.0).contains(&cfg.p_leave)
+                && cfg.p_join + cfg.p_leave <= 1.0,
+            "need p_join, p_leave ≥ 0 with p_join + p_leave ≤ 1, got {} + {}",
+            cfg.p_join,
+            cfg.p_leave
+        );
+        assert!(
+            cfg.move_radius.is_finite() && cfg.move_radius > 0.0,
+            "move_radius must be positive and finite, got {}",
+            cfg.move_radius
+        );
+        ChurnGen { cfg }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.cfg
+    }
+
+    /// Draws the next event against the current population `alive`
+    /// (stable id, position) — typically
+    /// [`Maintainer::alive`](crate::Maintainer::alive).
+    ///
+    /// An empty population always yields a join; leaves are converted to
+    /// moves at the population floor.
+    pub fn next_event<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        alive: &[(NodeId, Point)],
+    ) -> TopologyEvent {
+        let region = self.cfg.region;
+        let sample_in_region = |rng: &mut R| {
+            Point::new(
+                rng.gen_range(region.min().x..=region.max().x),
+                rng.gen_range(region.min().y..=region.max().y),
+            )
+        };
+        if alive.is_empty() {
+            return TopologyEvent::Join {
+                pos: sample_in_region(rng),
+            };
+        }
+        let u: f64 = rng.gen();
+        if u < self.cfg.p_join {
+            return TopologyEvent::Join {
+                pos: sample_in_region(rng),
+            };
+        }
+        let (node, pos) = alive[rng.gen_range(0..alive.len())];
+        if u < self.cfg.p_join + self.cfg.p_leave && alive.len() > self.cfg.min_population {
+            return TopologyEvent::Leave { node };
+        }
+        // Move: uniform jump within `move_radius`, clamped to the region.
+        let r = self.cfg.move_radius;
+        let dx = rng.gen_range(-r..=r);
+        let dy = rng.gen_range(-r..=r);
+        let to = Point::new(
+            (pos.x + dx).clamp(region.min().x, region.max().x),
+            (pos.y + dy).clamp(region.min().y, region.max().y),
+        );
+        TopologyEvent::Move { node, to }
+    }
+}
+
+/// Advances a random-waypoint walk by `dt` and emits one
+/// [`TopologyEvent::Move`] per node that changed position.
+///
+/// The walk's node `i` is reported as [`NodeId`] `ids[i]`; pass the ids
+/// the engine assigned at seeding time (for a population created in one
+/// batch these are simply `0..n`).
+///
+/// # Panics
+///
+/// Panics if `ids.len()` differs from the walk's population.
+pub fn waypoint_epoch<R: Rng + ?Sized>(
+    walk: &mut RandomWaypoint,
+    rng: &mut R,
+    dt: f64,
+    ids: &[NodeId],
+) -> Vec<TopologyEvent> {
+    assert_eq!(
+        ids.len(),
+        walk.positions().len(),
+        "ids must map every node of the walk"
+    );
+    let before = walk.positions().to_vec();
+    walk.step(rng, dt);
+    walk.positions()
+        .iter()
+        .zip(before.iter())
+        .zip(ids.iter())
+        .filter(|((now, was), _)| now != was)
+        .map(|((now, _), &id)| TopologyEvent::Move { node: id, to: *now })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_rng::{rngs::StdRng, SeedableRng};
+
+    fn alive(n: usize) -> Vec<(NodeId, Point)> {
+        (0..n)
+            .map(|i| (i, Point::new(i as f64 * 0.5, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_population_always_joins() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut churn = ChurnGen::new(ChurnConfig::default());
+        for _ in 0..20 {
+            assert!(matches!(
+                churn.next_event(&mut rng, &[]),
+                TopologyEvent::Join { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn events_respect_region_and_population() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = ChurnConfig {
+            region: Aabb::square(4.0),
+            p_join: 0.3,
+            p_leave: 0.3,
+            move_radius: 1.0,
+            min_population: 2,
+        };
+        let mut churn = ChurnGen::new(cfg);
+        let pop = alive(10);
+        let (mut joins, mut leaves, mut moves) = (0, 0, 0);
+        for _ in 0..500 {
+            match churn.next_event(&mut rng, &pop) {
+                TopologyEvent::Join { pos } => {
+                    joins += 1;
+                    assert!(cfg.region.contains(pos), "{pos}");
+                }
+                TopologyEvent::Leave { node } => {
+                    leaves += 1;
+                    assert!(node < 10);
+                }
+                TopologyEvent::Move { node, to } => {
+                    moves += 1;
+                    assert!(node < 10);
+                    assert!(cfg.region.contains(to), "{to}");
+                }
+            }
+        }
+        assert!(
+            joins > 0 && leaves > 0 && moves > 0,
+            "{joins}/{leaves}/{moves}"
+        );
+    }
+
+    #[test]
+    fn population_floor_suppresses_leaves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut churn = ChurnGen::new(ChurnConfig {
+            p_join: 0.0,
+            p_leave: 1.0,
+            min_population: 5,
+            ..ChurnConfig::default()
+        });
+        for _ in 0..50 {
+            let e = churn.next_event(&mut rng, &alive(5));
+            assert!(
+                matches!(e, TopologyEvent::Move { .. }),
+                "leave at the floor must degrade to a move, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_join")]
+    fn bad_rates_panic() {
+        let _ = ChurnGen::new(ChurnConfig {
+            p_join: 0.8,
+            p_leave: 0.5,
+            ..ChurnConfig::default()
+        });
+    }
+
+    #[test]
+    fn waypoint_epoch_emits_moves_with_stable_ids() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut walk = RandomWaypoint::new(&mut rng, 12, Aabb::square(5.0), (0.5, 1.0), 0.0);
+        let ids: Vec<NodeId> = (100..112).collect();
+        let events = waypoint_epoch(&mut walk, &mut rng, 1.0, &ids);
+        assert!(!events.is_empty());
+        for e in &events {
+            let TopologyEvent::Move { node, to } = e else {
+                panic!("waypoint epochs only move nodes, got {e:?}");
+            };
+            assert!((100..112).contains(node));
+            assert!(to.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must map")]
+    fn waypoint_epoch_checks_id_arity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut walk = RandomWaypoint::new(&mut rng, 3, Aabb::square(2.0), (1.0, 1.0), 0.0);
+        let _ = waypoint_epoch(&mut walk, &mut rng, 1.0, &[0, 1]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Dependency-free seeded pseudo-randomness for the `mcds` workspace.
+//!
+//! Every experiment, generator and simulation in this workspace is
+//! deterministic given a `u64` seed.  The external `rand` crate provided
+//! that before, but it made the build depend on registry access, which
+//! the reproduction environments do not always have.  This crate is a
+//! small, hermetic replacement exposing the *subset* of the `rand 0.8`
+//! API the workspace uses, with the same module layout, so call sites
+//! only change their import path:
+//!
+//! ```text
+//! use rand::{rngs::StdRng, Rng, SeedableRng};        // before
+//! use mcds_rng::{rngs::StdRng, Rng, SeedableRng};    // after
+//! ```
+//!
+//! The generator behind [`rngs::StdRng`] is **xoshiro256++** seeded via
+//! SplitMix64 — a well-studied non-cryptographic PRNG with 256 bits of
+//! state, far more than these simulations need.  Numerical streams are
+//! *not* bit-compatible with `rand`'s `StdRng` (which is ChaCha-based);
+//! seeds reproduce runs within a build of this workspace, not across the
+//! migration.
+//!
+//! ```
+//! use mcds_rng::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen();                 // uniform in [0, 1)
+//! let k = rng.gen_range(0..10usize);      // uniform in {0, …, 9}
+//! let t = rng.gen_range(-1.0..=1.0);      // uniform in [-1, 1]
+//! assert!((0.0..1.0).contains(&x));
+//! assert!(k < 10);
+//! assert!((-1.0..=1.0).contains(&t));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of pseudo-random `u64`s plus the derived sampling helpers.
+///
+/// This mirrors the parts of `rand::Rng` the workspace uses.  All helpers
+/// have default implementations in terms of [`Rng::next_u64`], so a
+/// generator only implements that one method.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (see [`SampleRange`] for the
+    /// supported range/element types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// A sample from the type's standard distribution: `[0, 1)` for
+    /// floats, full range for integers, fair coin for `bool`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types that can be seeded from a `u64` — the only seeding mode the
+/// workspace uses (mirrors `rand::SeedableRng::seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: **xoshiro256++**.
+    ///
+    /// 256 bits of state, period `2^256 − 1`, passes BigCrush; seeded via
+    /// SplitMix64 so that every `u64` seed yields a well-mixed state
+    /// (including seed 0).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64: the reference seeding procedure for xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The standard distribution of a type, mirroring `rand`'s `Standard`:
+/// what `rng.gen::<T>()` produces.
+pub trait Standard {
+    /// Draws a sample of `Self`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// bits-to-double construction).
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift with rejection
+/// — unbiased without a modulo in the common case.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone: the low `threshold` multiples of 2^64 mod bound.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty range {}..{}",
+            self.start,
+            self.end
+        );
+        let u: f64 = f64::sample(rng);
+        let x = self.start + u * (self.end - self.start);
+        // Guard the measure-zero case where rounding lands on `end`.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let u: f64 = f64::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(
+            self.start < self.end,
+            "empty range {}..{}",
+            self.start,
+            self.end
+        );
+        self.start + bounded_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + bounded_u64(rng, hi - lo + 1)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+/// Slice helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Random slice operations (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        // SplitMix64 seeding means seed 0 must not produce the all-zero
+        // state (which would be a fixed point of xoshiro).
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn f64_standard_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x), "{x}");
+            let y = rng.gen_range(1.0..=2.0);
+            assert!((1.0..=2.0).contains(&y), "{y}");
+            let k = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&k), "{k}");
+            let m = rng.gen_range(0..=4u64);
+            assert!(m <= 4, "{m}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(rng.gen_range(5..=5usize), 5);
+        assert_eq!(rng.gen_range(1.25..=1.25), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn small_integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // A 100-element shuffle leaving everything fixed has probability
+        // 1/100!; treat it as a bug.
+        assert!(v.iter().enumerate().any(|(i, &x)| i != x));
+    }
+
+    #[test]
+    fn choose_covers_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*items.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        // The workspace's generators take `&mut R where R: Rng + ?Sized`;
+        // make sure the helper methods resolve in that position.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..=1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = draw(&mut rng);
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

@@ -7,7 +7,7 @@
 
 use mcds_geom::{Aabb, Point};
 use mcds_graph::traversal::largest_component;
-use rand::Rng;
+use mcds_rng::Rng;
 
 use crate::Udg;
 
@@ -190,7 +190,7 @@ pub fn side_for_avg_degree(n: usize, target_degree: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use mcds_rng::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn uniform_points_stay_in_region() {

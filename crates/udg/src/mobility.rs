@@ -9,7 +9,7 @@
 //! and measure how much of the CDS survives each step.
 
 use mcds_geom::{Aabb, Point};
-use rand::Rng;
+use mcds_rng::Rng;
 
 use crate::Udg;
 
@@ -18,7 +18,7 @@ use crate::Udg;
 /// ```
 /// use mcds_geom::Aabb;
 /// use mcds_udg::mobility::RandomWaypoint;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use mcds_rng::{rngs::StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let mut walk = RandomWaypoint::new(&mut rng, 40, Aabb::square(6.0), (0.5, 1.5), 0.2);
@@ -32,6 +32,7 @@ pub struct RandomWaypoint {
     positions: Vec<Point>,
     waypoints: Vec<Point>,
     speeds: Vec<f64>,
+    speed_range: (f64, f64),
     pause_left: Vec<f64>,
     pause: f64,
 }
@@ -65,6 +66,7 @@ impl RandomWaypoint {
             positions,
             waypoints,
             speeds,
+            speed_range,
             pause_left: vec![0.0; n],
             pause,
         }
@@ -89,9 +91,13 @@ impl RandomWaypoint {
 
     /// Advances the walk by `dt` time units.
     ///
-    /// Each node moves toward its waypoint at its speed; on arrival it
-    /// pauses, then draws a fresh waypoint.  Movement within one `dt` is
-    /// resolved exactly (including waypoint arrivals mid-step).
+    /// Each node moves toward its waypoint at its current leg speed; on
+    /// arrival it pauses, then draws a fresh waypoint *and a fresh speed*
+    /// (the standard random-waypoint model resamples speed per leg — a
+    /// node is not stuck with its deployment-time draw forever).
+    /// Movement within one `dt` is resolved exactly, including waypoint
+    /// arrivals mid-step, and `pause_left` never goes negative however
+    /// the step boundaries land relative to pause expiries.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
         assert!(dt >= 0.0 && dt.is_finite(), "dt must be ≥ 0");
         for i in 0..self.positions.len() {
@@ -99,7 +105,11 @@ impl RandomWaypoint {
             while budget > 0.0 {
                 if self.pause_left[i] > 0.0 {
                     let rest = self.pause_left[i].min(budget);
-                    self.pause_left[i] -= rest;
+                    // Clamp: `a - min(a, b)` can leave negative dust in
+                    // floating point, which would freeze the node (the
+                    // `> 0.0` gate above would keep failing while the
+                    // pause never finishes draining).
+                    self.pause_left[i] = (self.pause_left[i] - rest).max(0.0);
                     budget -= rest;
                     continue;
                 }
@@ -112,15 +122,22 @@ impl RandomWaypoint {
                     self.positions[i] += dir * reach;
                     budget = 0.0;
                 } else {
-                    // Arrive, start pause, pick the next waypoint.
+                    // Arrive, start pause, pick the next leg's waypoint
+                    // and speed.
                     self.positions[i] = self.waypoints[i];
-                    budget -= if self.speeds[i] > 0.0 {
-                        to_go / self.speeds[i]
-                    } else {
-                        0.0
-                    };
+                    budget -= to_go / self.speeds[i];
                     self.pause_left[i] = self.pause;
                     self.waypoints[i] = Self::sample_point(rng, &self.region);
+                    let (lo, hi) = self.speed_range;
+                    self.speeds[i] = rng.gen_range(lo..=hi);
+                    // A zero-length leg (degenerate region: the fresh
+                    // waypoint is where the node already stands) with
+                    // zero pause would consume no budget and spin this
+                    // loop forever; the node has nowhere to go, so the
+                    // rest of the step is a no-op.
+                    if self.pause == 0.0 && self.positions[i] == self.waypoints[i] {
+                        break;
+                    }
                 }
             }
         }
@@ -145,8 +162,8 @@ pub fn survival_fraction(old: &[usize], new: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mcds_rng::rngs::StdRng;
+    use mcds_rng::SeedableRng;
 
     #[test]
     fn nodes_stay_in_region() {
@@ -211,6 +228,54 @@ mod tests {
         assert_eq!(survival_fraction(&[1, 2], &[1, 2]), 1.0);
         assert_eq!(survival_fraction(&[1, 2], &[]), 0.0);
         assert!((survival_fraction(&[1, 2, 3, 4], &[2, 4, 9]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speeds_are_redrawn_per_leg() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Tiny region + high speeds: every step crosses many waypoints.
+        let mut walk = RandomWaypoint::new(&mut rng, 5, Aabb::square(1.0), (5.0, 50.0), 0.0);
+        let initial = walk.speeds.clone();
+        walk.step(&mut rng, 10.0);
+        assert_ne!(
+            initial, walk.speeds,
+            "arrivals must resample leg speeds, not reuse the deployment draw"
+        );
+        let (lo, hi) = walk.speed_range;
+        for s in &walk.speeds {
+            assert!((lo..=hi).contains(s), "leg speed {s} outside {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn degenerate_region_with_zero_pause_terminates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // A zero-area region: every waypoint equals every position, so a
+        // leg consumes no time; step() must still return.
+        let point_region = Aabb::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        let mut walk = RandomWaypoint::new(&mut rng, 3, point_region, (1.0, 1.0), 0.0);
+        walk.step(&mut rng, 5.0);
+        for p in walk.positions() {
+            assert_eq!(*p, Point::new(1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn pause_left_never_goes_negative() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Fractional pause drained by many ragged step boundaries; the
+        // remaining pause must stay in [0, pause] throughout.
+        let mut walk = RandomWaypoint::new(&mut rng, 8, Aabb::square(3.0), (0.5, 2.0), 0.1);
+        for _ in 0..400 {
+            walk.step(&mut rng, 0.037);
+            for (i, left) in walk.pause_left.iter().enumerate() {
+                assert!(
+                    (0.0..=walk.pause).contains(left),
+                    "node {i}: pause_left = {left} outside [0, {}]",
+                    walk.pause
+                );
+            }
+        }
     }
 
     #[test]

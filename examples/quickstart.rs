@@ -3,8 +3,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn main() -> Result<(), CdsError> {
     // 120 sensors, unit radio range, 6×6 deployment field.

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example sensor_backbone`
 
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 use std::collections::VecDeque;
 
 /// Simulates a source broadcast where only `relays` retransmit.

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Regenerates every experiment artifact of the reproduction (E1-E16).
-# Usage: ./run_experiments.sh [--quick] [outdir]   (default outdir: results)
+# Regenerates every experiment artifact of the reproduction (E1-E17).
+# Usage: ./run_experiments.sh [--quick] [--skip-verify] [outdir]
+# (default outdir: results)
 set -euo pipefail
 quick=""
+skip_verify=""
 out="results"
 for arg in "$@"; do
   case "$arg" in
     --quick) quick="--quick" ;;
+    --skip-verify) skip_verify=1 ;;
     *) out="$arg" ;;
   esac
 done
+if [[ -z "$skip_verify" ]]; then
+  echo "### verify"
+  scripts/verify.sh
+  echo
+fi
 exps=(exp_fig1 exp_fig2 exp_bounds exp_waf_ratio exp_greedy_ratio exp_compare
       exp_distributed exp_conjecture exp_lemmas exp_area exp_root_ablation
-      exp_broadcast exp_routing exp_mobility exp_election exp_anatomy)
+      exp_broadcast exp_routing exp_mobility exp_election exp_anatomy
+      exp_churn)
 for e in "${exps[@]}"; do
   echo "### $e"
   cargo run --quiet --release -p mcds-bench --bin "$e" -- $quick --out "$out"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, format, lint.
+# Usage: scripts/verify.sh [--no-clippy]
+#
+# Hermetic by design — no network, no external dependencies.  The
+# proptest/criterion targets are feature-gated (`ext-tests`) and excluded
+# here; see the workspace Cargo.toml for how to restore them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+no_clippy=""
+for arg in "$@"; do
+  case "$arg" in
+    --no-clippy) no_clippy=1 ;;
+    *) echo "usage: scripts/verify.sh [--no-clippy]" >&2; exit 1 ;;
+  esac
+done
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+if [[ -z "$no_clippy" ]]; then
+  echo "== cargo clippy =="
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "verify: all checks passed"

@@ -26,12 +26,14 @@
 //! | [`exact`] | `mcds-exact` | exact `α`, `γ`, `γ_c` solvers |
 //! | [`distsim`] | `mcds-distsim` | synchronous protocol simulator, distributed WAF |
 //! | [`viz`] | `mcds-viz` | SVG rendering of instances, backbones and the paper's figures |
+//! | [`maintain`] | `mcds-maintain` | dynamic CDS maintenance under churn |
+//! | [`rng`] | `mcds-rng` | zero-dependency seeded PRNG (hermetic builds) |
 //!
 //! # Quickstart
 //!
 //! ```
 //! use mcds::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use mcds_rng::{rngs::StdRng, SeedableRng};
 //!
 //! // Deploy 60 sensors uniformly in a 4×4 field (unit radio range).
 //! let mut rng = StdRng::seed_from_u64(7);
@@ -58,7 +60,9 @@ pub use mcds_distsim as distsim;
 pub use mcds_exact as exact;
 pub use mcds_geom as geom;
 pub use mcds_graph as graph;
+pub use mcds_maintain as maintain;
 pub use mcds_mis as mis;
+pub use mcds_rng as rng;
 pub use mcds_udg as udg;
 pub use mcds_viz as viz;
 
@@ -87,5 +91,13 @@ mod tests {
         let _c = crate::mis::constructions::fig1_two_star(0.02);
         let udg = Udg::build(vec![Point::new(0.0, 0.0)]);
         assert_eq!(udg.len(), 1);
+        use crate::rng::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let _u: f64 = rng.gen();
+        let engine = crate::maintain::Maintainer::with_population(
+            crate::maintain::MaintainConfig::default(),
+            vec![Point::new(0.0, 0.0)],
+        );
+        assert_eq!(engine.backbone().len(), 1);
     }
 }

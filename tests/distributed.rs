@@ -3,8 +3,8 @@
 
 use mcds::distsim::pipeline::run_waf_distributed;
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 #[test]
 fn distributed_equals_centralized_on_random_udgs() {

@@ -5,8 +5,8 @@ use mcds::cds::algorithms::Algorithm;
 use mcds::exact;
 use mcds::mis::bounds;
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 fn connected_instance(seed: u64, n: usize, side: f64) -> Udg {
     let mut rng = StdRng::seed_from_u64(seed);

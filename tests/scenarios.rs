@@ -9,8 +9,8 @@ use mcds::cds::algorithms::Algorithm;
 use mcds::cds::routing::stretch_stats;
 use mcds::distsim::protocols::{run_broadcast, run_verify_cds};
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 /// Named deployment scenarios spanning the families the generators
 /// support.

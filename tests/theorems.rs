@@ -10,8 +10,8 @@ use mcds::mis::constructions::{fig1_three_star, fig1_two_star, fig2_chain};
 use mcds::mis::packing::{check_lemma5, check_theorem3, check_theorem6};
 use mcds::mis::stars::{star_decomposition, verify_decomposition};
 use mcds::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
 
 /// A deterministic battery of small connected UDGs with exact optima in
 /// reach.
