@@ -14,12 +14,17 @@
 //! their weakness is the missing constant worst-case guarantee, not
 //! average size; pruning trims a further few percent.
 //!
-//! Usage: `exp_compare [--quick] [--seed <u64>] [--out <dir>]`
+//! Trials fan out over the worker pool (`--threads`); sizes and the main
+//! CSV are bit-identical at any width.  Per-phase wall times
+//! (gen/mis/connect/verify) are aggregated into a *separate*
+//! `exp_compare_timings.csv` artifact, since wall clocks are inherently
+//! non-deterministic.
+//!
+//! Usage: `exp_compare [--quick] [--seed <u64>] [--out <dir>] [--threads <n>]`
 
-use mcds_bench::sweeps::{gamma_c_lower_bound, instances, Cell};
+use mcds_bench::sweeps::{gamma_c_lower_bound, instance, mean_timings, ms, Cell, Trial};
 use mcds_bench::{f2, stats, ExpConfig, Table};
-use mcds_cds::algorithms::Algorithm;
-use mcds_cds::prune::prune_cds;
+use mcds_cds::{Algorithm, Solver};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -87,44 +92,115 @@ fn main() {
     if let Some(w) = csv.as_mut() {
         w.row(&header_refs);
     }
+    // Wall-clock phase accounting lives in its own artifact: the main CSV
+    // stays byte-identical across runs and pool widths.
+    let mut timing_csv = cfg.csv("exp_compare_timings");
+    if let Some(w) = timing_csv.as_mut() {
+        w.row(&[
+            "n",
+            "side",
+            "alg",
+            "gen_ms",
+            "mis_ms",
+            "connect_ms",
+            "verify_ms",
+        ]);
+    }
 
+    let pool = mcds_pool::global::pool();
     for cell in cells {
-        let mut deg = Vec::new();
-        let mut lb = Vec::new();
-        let mut sizes: Vec<Vec<f64>> = vec![Vec::new(); Algorithm::ALL.len()];
-        let mut pruned_sizes = Vec::new();
-        let mut greedy_over_lb = Vec::new();
-        for udg in instances(cell, cfg.seed) {
+        // One pooled pass per cell: each trial runs every algorithm on
+        // its instance with the Solver's phase timing and verification.
+        struct TrialRow {
+            deg: f64,
+            lb: f64,
+            trials: Vec<Trial>,
+            pruned: f64,
+        }
+        let trial_ids: Vec<usize> = (0..cell.instances).collect();
+        let rows: Vec<Option<TrialRow>> = pool.parallel_map(trial_ids, |_, i| {
+            let gen_start = std::time::Instant::now();
+            let udg = instance(cell, cfg.seed, i);
+            let gen_time = gen_start.elapsed();
             let g = udg.graph();
             if g.num_nodes() < 2 {
-                continue;
+                return None;
             }
-            deg.push(g.avg_degree());
-            let bound = gamma_c_lower_bound(g) as f64;
-            lb.push(bound);
-            for (i, alg) in Algorithm::ALL.iter().enumerate() {
-                let cds = alg.run(g).expect("connected instance");
-                debug_assert!(cds.verify(g).is_ok());
-                sizes[i].push(cds.len() as f64);
-                if *alg == Algorithm::GreedyConnect {
-                    greedy_over_lb.push(cds.len() as f64 / bound);
-                    let pruned = prune_cds(g, cds.nodes()).expect("valid CDS");
-                    pruned_sizes.push(pruned.len() as f64);
-                }
-            }
-        }
+            let lb = gamma_c_lower_bound(g) as f64;
+            let trials: Vec<Trial> = Algorithm::ALL
+                .iter()
+                .map(|&alg| {
+                    let mut solution = Solver::new(alg)
+                        .verify(true)
+                        .timings(true)
+                        .solve(g)
+                        .expect("connected instance");
+                    solution.set_build_time(gen_time);
+                    Trial {
+                        n: g.num_nodes(),
+                        solution,
+                    }
+                })
+                .collect();
+            let pruned = Solver::new(Algorithm::GreedyConnect)
+                .prune(true)
+                .solve(g)
+                .expect("connected instance")
+                .len() as f64;
+            Some(TrialRow {
+                deg: g.avg_degree(),
+                lb,
+                trials,
+                pruned,
+            })
+        });
+        let rows: Vec<TrialRow> = rows.into_iter().flatten().collect();
+
+        let deg: Vec<f64> = rows.iter().map(|r| r.deg).collect();
+        let lb: Vec<f64> = rows.iter().map(|r| r.lb).collect();
+        let pruned_sizes: Vec<f64> = rows.iter().map(|r| r.pruned).collect();
+        let greedy_idx = Algorithm::ALL
+            .iter()
+            .position(|&a| a == Algorithm::GreedyConnect)
+            .expect("registry contains greedy");
+        let greedy_over_lb: Vec<f64> = rows
+            .iter()
+            .map(|r| r.trials[greedy_idx].solution.len() as f64 / r.lb)
+            .collect();
+
         let mut row: Vec<String> = vec![
             cell.n.to_string(),
             f2(cell.side),
             f2(stats::mean(&deg)),
             f2(stats::mean(&lb)),
         ];
-        row.extend(sizes.iter().map(|s| f2(stats::mean(s))));
+        for i in 0..Algorithm::ALL.len() {
+            let sizes: Vec<f64> = rows
+                .iter()
+                .map(|r| r.trials[i].solution.len() as f64)
+                .collect();
+            row.push(f2(stats::mean(&sizes)));
+        }
         row.push(f2(stats::mean(&pruned_sizes)));
         row.push(f2(stats::mean(&greedy_over_lb)));
         table.row(&row);
         if let Some(w) = csv.as_mut() {
             w.row(&row);
+        }
+        if let Some(w) = timing_csv.as_mut() {
+            for (i, alg) in Algorithm::ALL.iter().enumerate() {
+                let per_alg: Vec<Trial> = rows.iter().map(|r| r.trials[i].clone()).collect();
+                let t = mean_timings(&per_alg);
+                w.row(&[
+                    cell.n.to_string(),
+                    f2(cell.side),
+                    alg.name().to_string(),
+                    ms(t.build),
+                    ms(t.phase1),
+                    ms(t.phase2),
+                    ms(t.verify),
+                ]);
+            }
         }
     }
     table.print();

@@ -16,7 +16,7 @@
 
 use mcds_bench::sweeps::{instances, Cell};
 use mcds_bench::{f2, stats, ExpConfig, Table};
-use mcds_cds::waf_cds_rooted;
+use mcds_cds::{Algorithm, Solver};
 use mcds_distsim::pipeline::run_waf_distributed;
 use mcds_graph::traversal;
 
@@ -118,7 +118,11 @@ fn main() {
             }
             count += 1;
             let run = run_waf_distributed(g).expect("connected instance");
-            let central = waf_cds_rooted(g, run.root).expect("connected instance");
+            let central = Solver::new(Algorithm::WafTree)
+                .root(run.root)
+                .solve(g)
+                .expect("connected instance")
+                .into_cds();
             matches &= run.cds.nodes() == central.nodes();
             diams.push(traversal::diameter(g).unwrap_or(0) as f64);
             rounds.push(run.total_rounds() as f64);

@@ -19,7 +19,7 @@
 
 use mcds_bench::sweeps::{instances, Cell};
 use mcds_bench::{f2, stats, ExpConfig, Table};
-use mcds_cds::{greedy_cds_rooted, waf_cds_rooted};
+use mcds_cds::{Algorithm, Solver};
 use mcds_graph::traversal;
 
 fn main() {
@@ -82,8 +82,16 @@ fn main() {
                     .expect("nonempty"),
             ];
             for (ri, &root) in roots.iter().enumerate() {
-                let greedy = greedy_cds_rooted(g, root).expect("connected");
-                let waf = waf_cds_rooted(g, root).expect("connected");
+                let greedy = Solver::new(Algorithm::GreedyConnect)
+                    .root(root)
+                    .solve(g)
+                    .expect("connected")
+                    .into_cds();
+                let waf = Solver::new(Algorithm::WafTree)
+                    .root(root)
+                    .solve(g)
+                    .expect("connected")
+                    .into_cds();
                 debug_assert!(greedy.verify(g).is_ok() && waf.verify(g).is_ok());
                 sizes[0][ri].push(greedy.len() as f64);
                 sizes[1][ri].push(waf.len() as f64);

@@ -28,7 +28,11 @@ use std::path::PathBuf;
 ///   tests),
 /// * `--seed <u64>` — master RNG seed (default 20080617, the ICDCS '08
 ///   date),
-/// * `--out <dir>` — write CSV artifacts into `<dir>`.
+/// * `--out <dir>` — write CSV artifacts into `<dir>`,
+/// * `--threads <N>` — worker-pool width for instance generation and
+///   per-trial fan-out (default: available parallelism).  Results are
+///   bit-identical at any width (see `mcds-pool`'s determinism
+///   contract); only wall-clock time changes.
 #[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Reduced sweep for smoke testing.
@@ -37,6 +41,8 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Where to write CSV artifacts, if anywhere.
     pub out_dir: Option<PathBuf>,
+    /// Worker-pool width used by the sweep fan-out.
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -45,12 +51,14 @@ impl Default for ExpConfig {
             quick: false,
             seed: 20_080_617,
             out_dir: None,
+            threads: mcds_pool::default_parallelism(),
         }
     }
 }
 
 impl ExpConfig {
-    /// Parses the process arguments.
+    /// Parses the process arguments and configures the process-wide
+    /// worker pool ([`mcds_pool::global`]) to the requested width.
     ///
     /// # Panics
     ///
@@ -70,11 +78,17 @@ impl ExpConfig {
                     let v = args.next().expect("--out needs a directory");
                     cfg.out_dir = Some(PathBuf::from(v));
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    cfg.threads = v.parse().expect("--threads must be a positive integer");
+                }
                 other => panic!(
-                    "unknown argument `{other}`; usage: [--quick] [--seed <u64>] [--out <dir>]"
+                    "unknown argument `{other}`; usage: \
+                     [--quick] [--seed <u64>] [--out <dir>] [--threads <n>]"
                 ),
             }
         }
+        mcds_pool::global::configure(cfg.threads);
         cfg
     }
 

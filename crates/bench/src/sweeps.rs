@@ -1,6 +1,15 @@
 //! Shared sweep machinery for the ratio experiments (E3–E6).
+//!
+//! All per-trial fan-out goes through the process-wide worker pool
+//! ([`mcds_pool::global`], sized by `--threads`).  Trials are
+//! embarrassingly parallel, each instance draws from its own split RNG
+//! stream ([`mcds_rng::split_seed`]), and [`mcds_pool::ThreadPool::
+//! parallel_map`] returns results in input order — so every number a
+//! sweep reports is bit-identical at any pool width.
 
-use mcds_cds::algorithms::Algorithm;
+use std::time::{Duration, Instant};
+
+use mcds_cds::{Algorithm, PhaseTimings, Solution, Solver};
 use mcds_exact::try_min_connected_dominating_set;
 use mcds_graph::{traversal, Graph};
 use mcds_mis::{bounds, BfsMis};
@@ -19,19 +28,99 @@ pub struct Cell {
     pub instances: usize,
 }
 
+impl Cell {
+    /// The cell's RNG stream family: one master seed per cell, split
+    /// into one independent stream per instance index.
+    fn cell_seed(&self, seed: u64) -> u64 {
+        seed ^ (self.n as u64) << 20 ^ self.side.to_bits()
+    }
+}
+
 /// Generates `cell.instances` connected UDG instances for a cell,
 /// deterministically from `seed` (falls back to giant components when
 /// full connectivity is too rare).
+///
+/// Instance `i` draws from RNG stream `i` of the cell's master seed, so
+/// trials are independent of each other and of the pool width; the
+/// returned vector is identical for any `--threads` value.
 pub fn instances(cell: Cell, seed: u64) -> Vec<Udg> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (cell.n as u64) << 20 ^ cell.side.to_bits());
-    (0..cell.instances)
-        .map(
-            |_| match gen::connected_uniform(&mut rng, cell.n, cell.side, 30) {
-                Some(u) => u,
-                None => gen::giant_component_instance(&mut rng, cell.n, cell.side),
-            },
-        )
-        .collect()
+    let pool = mcds_pool::global::pool();
+    pool.parallel_map((0..cell.instances).collect(), |_, i| {
+        instance(cell, seed, i)
+    })
+}
+
+/// Generates instance `i` of the cell (RNG stream `i` of the cell's
+/// master seed) — the building block for binaries that fan out their own
+/// per-trial work.
+pub fn instance(cell: Cell, seed: u64, i: usize) -> Udg {
+    let mut rng = StdRng::from_stream(cell.cell_seed(seed), i as u64);
+    match gen::connected_uniform(&mut rng, cell.n, cell.side, 30) {
+        Some(u) => u,
+        None => gen::giant_component_instance(&mut rng, cell.n, cell.side),
+    }
+}
+
+/// One algorithm run on one instance with full phase accounting:
+/// generation (`build`), MIS/dominators (`phase1`), connectors
+/// (`phase2`), and verification wall time.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The solved instance's node count.
+    pub n: usize,
+    /// The solution, including [`PhaseTimings`].
+    pub solution: Solution,
+}
+
+/// Generates the cell's instances and solves each with `alg`, fanning
+/// trials over the worker pool.  Timings are measured per trial
+/// (`gen`/`mis`/`connect`/`verify` map to [`PhaseTimings`]'s
+/// `build`/`phase1`/`phase2`/`verify`); sizes are deterministic, wall
+/// times of course are not.
+pub fn timed_trials(alg: Algorithm, cell: Cell, seed: u64) -> Vec<Trial> {
+    let pool = mcds_pool::global::pool();
+    pool.parallel_map((0..cell.instances).collect(), |_, i| {
+        let gen_start = Instant::now();
+        let udg = instance(cell, seed, i);
+        let gen_time = gen_start.elapsed();
+        let mut solution = Solver::new(alg)
+            .verify(true)
+            .timings(true)
+            .solve(udg.graph())
+            .expect("connected instance");
+        solution.set_build_time(gen_time);
+        Trial {
+            n: udg.len(),
+            solution,
+        }
+    })
+}
+
+/// Mean per-phase timings over a set of trials (zeros for no trials).
+pub fn mean_timings(trials: &[Trial]) -> PhaseTimings {
+    let k = trials.len().max(1) as u32;
+    let mut sum = PhaseTimings::default();
+    for t in trials {
+        let pt = t.solution.timings();
+        sum.build += pt.build;
+        sum.phase1 += pt.phase1;
+        sum.phase2 += pt.phase2;
+        sum.verify += pt.verify;
+        sum.prune += pt.prune;
+    }
+    PhaseTimings {
+        build: sum.build / k,
+        phase1: sum.phase1 / k,
+        phase2: sum.phase2 / k,
+        verify: sum.verify / k,
+        prune: sum.prune / k,
+    }
+}
+
+/// `Duration` as fractional milliseconds with 3 decimals (CSV/table
+/// convention for the timing artifacts).
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
 /// Result of measuring one algorithm against the exact optimum on one
@@ -54,7 +143,7 @@ pub fn ratio_against_exact(alg: Algorithm, udg: &Udg, budget: u64) -> Option<Rat
     if g.num_nodes() < 2 {
         return None;
     }
-    let cds = alg.run(g).ok()?;
+    let cds = Solver::new(alg).solve(g).ok()?.into_cds();
     debug_assert!(cds.verify(g).is_ok());
     let opt = try_min_connected_dominating_set(g, budget).ok()??;
     let gamma_c = opt.len().max(1);
@@ -181,19 +270,24 @@ pub fn run_ratio_experiment(alg: Algorithm, bound: f64, theorem: &str, cfg: &cra
     }
 
     let mut violations = 0usize;
+    let pool = mcds_pool::global::pool();
     for cell in cells {
+        // The exact solver dominates each trial; fan trials over the
+        // pool (results come back in input order, so the aggregation —
+        // and the CSV — is independent of the width).
+        let samples = pool.parallel_map(instances(cell, cfg.seed), |_, udg| {
+            ratio_against_exact(alg, &udg, mcds_exact::DEFAULT_BUDGET)
+        });
         let mut sizes = Vec::new();
         let mut gammas = Vec::new();
         let mut ratios = Vec::new();
-        for udg in instances(cell, cfg.seed) {
-            if let Some(s) = ratio_against_exact(alg, &udg, mcds_exact::DEFAULT_BUDGET) {
-                if s.ratio > bound + 1e-9 {
-                    violations += 1;
-                }
-                sizes.push(s.cds_size as f64);
-                gammas.push(s.gamma_c as f64);
-                ratios.push(s.ratio);
+        for s in samples.into_iter().flatten() {
+            if s.ratio > bound + 1e-9 {
+                violations += 1;
             }
+            sizes.push(s.cds_size as f64);
+            gammas.push(s.gamma_c as f64);
+            ratios.push(s.ratio);
         }
         let row = [
             cell.n.to_string(),
@@ -252,6 +346,57 @@ mod tests {
             assert_eq!(x.points(), y.points());
             assert!(x.graph().is_connected());
         }
+    }
+
+    #[test]
+    fn instances_identical_at_any_pool_width() {
+        // The determinism contract: a wide pool produces byte-identical
+        // instances.  Use explicit pools rather than the global one so
+        // this test cannot race with siblings over process state.
+        let cell = Cell {
+            n: 40,
+            side: 3.5,
+            instances: 6,
+        };
+        let seed = cell.cell_seed(42);
+        let make = |pool: &mcds_pool::ThreadPool| -> Vec<Udg> {
+            pool.parallel_map((0..cell.instances).collect(), |_, i| {
+                let mut rng = StdRng::from_stream(seed, i as u64);
+                match gen::connected_uniform(&mut rng, cell.n, cell.side, 30) {
+                    Some(u) => u,
+                    None => gen::giant_component_instance(&mut rng, cell.n, cell.side),
+                }
+            })
+        };
+        let seq = make(&mcds_pool::ThreadPool::new(1));
+        let par = make(&mcds_pool::ThreadPool::new(4));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.points(), b.points());
+            assert_eq!(a.graph(), b.graph());
+        }
+    }
+
+    #[test]
+    fn timed_trials_record_phases_and_stay_deterministic() {
+        let cell = Cell {
+            n: 30,
+            side: 3.0,
+            instances: 3,
+        };
+        let a = timed_trials(Algorithm::GreedyConnect, cell, 9);
+        let b = timed_trials(Algorithm::GreedyConnect, cell, 9);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            // Sizes and node sets are pure functions of the seed; wall
+            // times are not.
+            assert_eq!(x.solution.nodes(), y.solution.nodes());
+            assert_eq!(x.n, y.n);
+        }
+        let m = mean_timings(&a);
+        assert!(m.total() >= m.phase1);
+        assert_eq!(mean_timings(&[]), PhaseTimings::default());
+        assert_eq!(ms(Duration::from_millis(2)), "2.000");
     }
 
     #[test]

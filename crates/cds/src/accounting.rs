@@ -101,31 +101,41 @@ impl GreedyAccounting {
     }
 
     /// Checks every internal inequality of the Theorem-10 proof against
-    /// a known `γ_c`; returns the first violation as an error message.
+    /// a known `γ_c`; returns the first violation as
+    /// [`CdsError::BoundViolated`] naming the violated piece.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated piece.
-    pub fn check(&self, gamma_c: usize) -> Result<PhaseSplit, String> {
+    /// [`CdsError::BoundViolated`] with the violated inequality.
+    pub fn check(&self, gamma_c: usize) -> Result<PhaseSplit, CdsError> {
         let split = self.split(gamma_c);
         let (b1, b2, b3) = Self::proof_bounds(gamma_c);
         // |I| ≤ ⌊11γc/3⌋ + 1 (Corollary 7).
         let i_bound = (11 * gamma_c) / 3 + 1;
         if gamma_c >= 2 && self.mis_size > i_bound {
-            return Err(format!(
+            return Err(CdsError::BoundViolated(format!(
                 "|I| = {} exceeds ⌊11γ_c/3⌋ + 1 = {i_bound}",
                 self.mis_size
-            ));
+            )));
         }
         if gamma_c >= 2 {
             if (split.c1 as f64) > b1 + 1e-9 {
-                return Err(format!("|C1| = {} exceeds {b1}", split.c1));
+                return Err(CdsError::BoundViolated(format!(
+                    "|C1| = {} exceeds {b1}",
+                    split.c1
+                )));
             }
             if (split.c2 as f64) > b2 + 1e-9 {
-                return Err(format!("|C2| = {} exceeds {b2:.3}", split.c2));
+                return Err(CdsError::BoundViolated(format!(
+                    "|C2| = {} exceeds {b2:.3}",
+                    split.c2
+                )));
             }
             if (split.c3 as f64) > b3 + 1e-9 {
-                return Err(format!("|C3| = {} exceeds {b3}", split.c3));
+                return Err(CdsError::BoundViolated(format!(
+                    "|C3| = {} exceeds {b3}",
+                    split.c3
+                )));
             }
         }
         Ok(split)

@@ -3,9 +3,7 @@
 
 use mcds_graph::Graph;
 
-use crate::{
-    arbitrary_mis_cds, chvatal_cds, greedy_cds, greedy_growth_cds, waf_cds, Cds, CdsError,
-};
+use crate::{Cds, CdsError, Solution, Solver};
 
 /// The CDS algorithms this crate implements, as data.
 ///
@@ -90,25 +88,67 @@ impl Algorithm {
         }
     }
 
-    /// Runs the algorithm on `g`.
+    /// Runs the algorithm on `g` with default [`Solver`] configuration.
     ///
     /// # Errors
     ///
     /// Propagates the algorithm's [`CdsError`].
     pub fn run(self, g: &Graph) -> Result<Cds, CdsError> {
-        match self {
-            Algorithm::WafTree => waf_cds(g),
-            Algorithm::GreedyConnect => greedy_cds(g),
-            Algorithm::ChvatalSetCover => chvatal_cds(g),
-            Algorithm::ArbitraryMis => arbitrary_mis_cds(g),
-            Algorithm::GreedyGrowth => greedy_growth_cds(g),
-        }
+        Solver::new(self).solve(g).map(Solution::into_cds)
     }
 }
 
 impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The error of parsing an [`Algorithm`] (or selector) from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm(pub String);
+
+impl std::fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown algorithm '{}' (expected one of: ", self.0)?;
+        for (i, alg) in Algorithm::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(alg.name())?;
+        }
+        f.write_str(", or 'all')")
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+impl std::str::FromStr for Algorithm {
+    type Err = UnknownAlgorithm;
+
+    /// Parses the stable [`Algorithm::name`] identifiers, so parsing and
+    /// [`std::fmt::Display`] round-trip.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| UnknownAlgorithm(s.to_string()))
+    }
+}
+
+/// Parses a command-line algorithm selector: an [`Algorithm::name`] for a
+/// single algorithm, or `"all"` for [`Algorithm::ALL`] in reporting
+/// order.  This is the one place front ends (CLI, experiment binaries)
+/// resolve algorithm names.
+///
+/// # Errors
+///
+/// [`UnknownAlgorithm`] echoing the rejected input and the valid names.
+pub fn parse_selector(s: &str) -> Result<Vec<Algorithm>, UnknownAlgorithm> {
+    if s == "all" {
+        Ok(Algorithm::ALL.to_vec())
+    } else {
+        s.parse().map(|alg| vec![alg])
     }
 }
 
@@ -168,5 +208,30 @@ mod tests {
         for alg in Algorithm::ALL {
             assert_eq!(alg.to_string(), alg.name());
         }
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.name().parse::<Algorithm>(), Ok(alg));
+            assert_eq!(alg.to_string().parse::<Algorithm>(), Ok(alg));
+        }
+        let err = "no-such".parse::<Algorithm>().unwrap_err();
+        assert_eq!(err.0, "no-such");
+        let msg = err.to_string();
+        assert!(msg.contains("no-such"));
+        assert!(msg.contains("waf"));
+        assert!(msg.contains("'all'"));
+    }
+
+    #[test]
+    fn selector_resolves_all_and_singles() {
+        assert_eq!(parse_selector("all").unwrap(), Algorithm::ALL.to_vec());
+        assert_eq!(
+            parse_selector("greedy").unwrap(),
+            vec![Algorithm::GreedyConnect]
+        );
+        assert!(parse_selector("bogus").is_err());
+        assert!(parse_selector("").is_err());
     }
 }

@@ -1,19 +1,52 @@
-//! Error type shared by all CDS constructions.
+//! Error type shared by all CDS constructions and checks.
 
 use std::error::Error;
 use std::fmt;
 
-/// Why a CDS construction could not run.
+/// Why a CDS construction, verification, or measurement failed.
 ///
 /// All algorithms in this crate require a connected, non-empty input graph
 /// (the paper's standing assumption: a CDS of a disconnected graph does
-/// not exist).
+/// not exist).  The verification variants ([`CdsError::NotDominating`],
+/// [`CdsError::NotConnected`], [`CdsError::InvalidSet`]) report the first
+/// violated CDS property of a candidate set; the remaining variants carry
+/// the context of the specific entry point that raised them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CdsError {
     /// The input graph has no nodes.
     EmptyGraph,
     /// The input graph is disconnected; no CDS exists.
     DisconnectedGraph,
+    /// The requested root is not a node of the graph.
+    InvalidRoot {
+        /// The offending root id.
+        root: usize,
+        /// Number of nodes in the graph (valid roots are `0..nodes`).
+        nodes: usize,
+    },
+    /// A candidate set fails domination: `node` has no neighbor (and is
+    /// not itself) in the set.
+    NotDominating {
+        /// The first node found undominated.
+        node: usize,
+    },
+    /// A candidate set's induced subgraph is disconnected.
+    NotConnected,
+    /// A candidate set is malformed for the requested check (e.g. empty
+    /// on a non-empty graph).
+    InvalidSet(String),
+    /// A source–target pair is connected in the graph but has no route
+    /// whose intermediate hops stay on the backbone — so the backbone is
+    /// not a CDS.
+    Unroutable {
+        /// Route source.
+        from: usize,
+        /// Route target.
+        to: usize,
+    },
+    /// A proof-derived inequality (Theorem 8/10 accounting) failed on a
+    /// concrete instance; the message names the violated piece.
+    BoundViolated(String),
     /// An internal invariant failed (e.g. the greedy connector found no
     /// positive-gain node while components remain — impossible for a
     /// valid MIS seed, so this indicates a bad seed set).
@@ -27,6 +60,19 @@ impl fmt::Display for CdsError {
             CdsError::DisconnectedGraph => {
                 write!(f, "input graph is disconnected; no CDS exists")
             }
+            CdsError::InvalidRoot { root, nodes } => {
+                write!(f, "root {root} out of range (graph has {nodes} nodes)")
+            }
+            CdsError::NotDominating { node } => write!(f, "node {node} is not dominated"),
+            CdsError::NotConnected => write!(f, "induced subgraph is disconnected"),
+            CdsError::InvalidSet(what) => write!(f, "invalid candidate set: {what}"),
+            CdsError::Unroutable { from, to } => {
+                write!(
+                    f,
+                    "pair ({from}, {to}) is connected but unroutable via the backbone"
+                )
+            }
+            CdsError::BoundViolated(what) => write!(f, "proof bound violated: {what}"),
             CdsError::Stalled(what) => write!(f, "connector selection stalled: {what}"),
         }
     }
@@ -45,6 +91,22 @@ mod tests {
             .to_string()
             .contains("disconnected"));
         assert!(CdsError::Stalled("x".into()).to_string().contains("x"));
+        assert!(CdsError::InvalidRoot { root: 9, nodes: 2 }
+            .to_string()
+            .contains("root 9 out of range"));
+        assert!(CdsError::NotDominating { node: 4 }
+            .to_string()
+            .contains("node 4"));
+        assert!(CdsError::NotConnected.to_string().contains("disconnected"));
+        assert!(CdsError::InvalidSet("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(CdsError::Unroutable { from: 0, to: 6 }
+            .to_string()
+            .contains("unroutable"));
+        assert!(CdsError::BoundViolated("|C1| too big".into())
+            .to_string()
+            .contains("|C1|"));
     }
 
     #[test]

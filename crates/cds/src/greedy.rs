@@ -2,13 +2,13 @@
 //! greedy max-gain connectors.
 
 use mcds_graph::Graph;
-use mcds_mis::BfsMis;
 
-use crate::{connect, Cds, CdsError};
+use crate::{Algorithm, Cds, CdsError, Solver};
 
 /// Runs the Section-IV algorithm rooted at the minimum-id node.
 ///
-/// See [`greedy_cds_rooted`].
+/// See [`greedy_cds_rooted`].  Thin wrapper over [`Solver`]; prefer
+/// `Solver::new(Algorithm::GreedyConnect).solve(g)` in new code.
 ///
 /// # Errors
 ///
@@ -34,30 +34,20 @@ pub fn greedy_cds(g: &Graph) -> Result<Cds, CdsError> {
 ///
 /// # Panics
 ///
-/// Panics if `root` is out of range.
+/// Panics if `root` is out of range (the [`Solver`] path reports
+/// [`CdsError::InvalidRoot`] instead).
 pub fn greedy_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
-    if g.num_nodes() == 0 {
-        return Err(CdsError::EmptyGraph);
+    match Solver::new(Algorithm::GreedyConnect).root(root).solve(g) {
+        Ok(solution) => Ok(solution.into_cds()),
+        Err(CdsError::InvalidRoot { root, .. }) => panic!("root {root} out of range"),
+        Err(e) => Err(e),
     }
-    assert!(root < g.num_nodes(), "root {root} out of range");
-    let phase1 = BfsMis::compute(g, root);
-    if !phase1.tree().spans(g) {
-        return Err(CdsError::DisconnectedGraph);
-    }
-    let mis = phase1.mis().to_vec();
-    let connectors = connect::max_gain_connectors(g, &mis).map_err(|e| match e {
-        // An MIS of a connected graph can never stall (Lemma 9); surface
-        // any other error as-is.
-        CdsError::Stalled(msg) => CdsError::Stalled(format!("unexpected on MIS seed: {msg}")),
-        other => other,
-    })?;
-    Ok(Cds::new(mis, connectors))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::waf_cds_rooted;
+    use crate::{connect, waf_cds_rooted};
     use mcds_graph::properties;
 
     #[test]

@@ -10,7 +10,7 @@
 
 use mcds_graph::Graph;
 
-use crate::{Cds, CdsError};
+use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 
 /// Runs the greedy-growth construction.
 ///
@@ -21,20 +21,24 @@ use crate::{Cds, CdsError};
 /// candidate has positive gain.
 ///
 /// The returned [`Cds`] reports the whole set as dominators (there is no
-/// phase split in this algorithm) and no connectors.
+/// phase split in this algorithm) and no connectors.  Thin wrapper over
+/// [`Solver`]; prefer `Solver::new(Algorithm::GreedyGrowth).solve(g)` in
+/// new code.
 ///
 /// # Errors
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
 pub fn greedy_growth_cds(g: &Graph) -> Result<Cds, CdsError> {
+    Solver::new(Algorithm::GreedyGrowth)
+        .solve(g)
+        .map(Solution::into_cds)
+}
+
+/// The growth loop proper; `g` must be non-empty and connected.  Returns
+/// the grown set in selection order.
+pub(crate) fn grow(g: &Graph) -> Vec<usize> {
     let n = g.num_nodes();
-    if n == 0 {
-        return Err(CdsError::EmptyGraph);
-    }
-    if !g.is_connected() {
-        return Err(CdsError::DisconnectedGraph);
-    }
     let seed = (0..n)
         .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
         .expect("nonempty");
@@ -95,7 +99,7 @@ pub fn greedy_growth_cds(g: &Graph) -> Result<Cds, CdsError> {
             .expect("connected graph with undominated nodes always has a positive-gain gray node");
         add(v, &mut in_set, &mut dominated, &mut undominated, &mut set);
     }
-    Ok(Cds::new(set, Vec::new()))
+    set
 }
 
 #[cfg(test)]

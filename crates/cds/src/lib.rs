@@ -28,6 +28,27 @@
 //! paper), the generic connector routines in [`connect`], and
 //! backbone-routing stretch measurement in [`routing`].
 //!
+//! # The [`Solver`] entry point
+//!
+//! All constructions are reachable through one configurable builder,
+//! which also owns verification, pruning, and per-phase timing:
+//!
+//! ```
+//! use mcds_graph::Graph;
+//! use mcds_cds::{Algorithm, Solver};
+//!
+//! let g = Graph::path(9);
+//! let solution = Solver::new(Algorithm::GreedyConnect)
+//!     .verify(true)
+//!     .solve(&g)?;
+//! assert!(solution.len() >= 7); // γ_c(P9) = 7
+//! assert_eq!(solution.algorithm(), Algorithm::GreedyConnect);
+//! # Ok::<(), mcds_cds::CdsError>(())
+//! ```
+//!
+//! The free functions below are kept as thin wrappers for existing
+//! callers and the paper-notation tests.
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +73,7 @@ mod greedy;
 mod growth;
 mod result;
 mod setcover;
+mod solver;
 mod waf;
 
 pub mod accounting;
@@ -60,9 +82,11 @@ pub mod connect;
 pub mod prune;
 pub mod routing;
 
+pub use algorithms::{parse_selector, Algorithm, UnknownAlgorithm};
 pub use error::CdsError;
 pub use greedy::{greedy_cds, greedy_cds_rooted};
 pub use growth::greedy_growth_cds;
-pub use result::Cds;
+pub use result::{check_cds, Cds};
 pub use setcover::{arbitrary_mis_cds, chvatal_cds, chvatal_dominating_set};
+pub use solver::{PhaseTimings, Solution, Solver};
 pub use waf::{waf_cds, waf_cds_rooted};

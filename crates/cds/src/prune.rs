@@ -7,7 +7,9 @@
 //! id tie-break) and removes greedily.  The result is a minimal — not
 //! minimum — CDS contained in the input.
 
-use mcds_graph::{node_mask, properties, subsets, Graph};
+use mcds_graph::{node_mask, subsets, Graph};
+
+use crate::CdsError;
 
 /// Greedily removes redundant nodes from a valid CDS.
 ///
@@ -16,10 +18,10 @@ use mcds_graph::{node_mask, properties, subsets, Graph};
 ///
 /// # Errors
 ///
-/// Returns an error (from [`properties::check_cds`]) if `set` is not a
-/// valid CDS of `g` to begin with.
-pub fn prune_cds(g: &Graph, set: &[usize]) -> Result<Vec<usize>, String> {
-    properties::check_cds(g, set)?;
+/// Returns the typed violation (from [`crate::check_cds`]) if `set` is
+/// not a valid CDS of `g` to begin with.
+pub fn prune_cds(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsError> {
+    crate::check_cds(g, set)?;
     let mut current: Vec<usize> = mcds_graph::node_set(set.iter().copied());
     // Candidates by descending degree: high-degree nodes are more likely
     // to be redundant hubs... actually low-degree CDS members (leaf-like
@@ -57,7 +59,7 @@ fn is_cds_fast(g: &Graph, set: &[usize]) -> bool {
 /// # Errors
 ///
 /// Propagates the validity error from [`prune_cds`].
-pub fn pruning_savings(g: &Graph, set: &[usize]) -> Result<usize, String> {
+pub fn pruning_savings(g: &Graph, set: &[usize]) -> Result<usize, CdsError> {
     let pruned = prune_cds(g, set)?;
     Ok(set.len() - pruned.len())
 }
@@ -72,7 +74,7 @@ mod tests {
         let g = Graph::cycle(12);
         let cds = waf_cds(&g).unwrap();
         let pruned = prune_cds(&g, cds.nodes()).unwrap();
-        assert!(properties::check_cds(&g, &pruned).is_ok());
+        assert!(crate::check_cds(&g, &pruned).is_ok());
         assert!(pruned.len() <= cds.len());
         // 1-minimality: removing any single node breaks the CDS.
         for &v in &pruned {
@@ -122,7 +124,7 @@ mod tests {
         for g in [Graph::path(20), Graph::cycle(15)] {
             let cds = greedy_cds(&g).unwrap();
             let pruned = prune_cds(&g, cds.nodes()).unwrap();
-            assert!(properties::check_cds(&g, &pruned).is_ok());
+            assert!(crate::check_cds(&g, &pruned).is_ok());
         }
     }
 }

@@ -1,7 +1,39 @@
-//! The [`Cds`] result type.
+//! The [`Cds`] result type and the typed CDS checker.
 
-use mcds_graph::{node_set, properties, Graph};
+use crate::CdsError;
+use mcds_graph::{node_mask, node_set, subsets, Graph};
 use std::fmt;
+
+/// Checks that `set` is a connected dominating set of `g`, reporting the
+/// first violated property as a typed [`CdsError`].
+///
+/// This is the typed counterpart of
+/// [`mcds_graph::properties::check_cds`] (which keeps its stringly
+/// diagnostics because `mcds-graph` sits below the error type).
+///
+/// # Errors
+///
+/// * [`CdsError::InvalidSet`] if `set` is empty while `g` has nodes,
+/// * [`CdsError::NotDominating`] naming the first undominated node,
+/// * [`CdsError::NotConnected`] if `G[set]` is disconnected.
+pub fn check_cds(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
+    let n = g.num_nodes();
+    if n > 0 && set.is_empty() {
+        return Err(CdsError::InvalidSet(
+            "empty set cannot dominate a non-empty graph".into(),
+        ));
+    }
+    let mask = node_mask(n, set);
+    for v in 0..n {
+        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
+            return Err(CdsError::NotDominating { node: v });
+        }
+    }
+    if !subsets::is_connected_subset(g, &mask) {
+        return Err(CdsError::NotConnected);
+    }
+    Ok(())
+}
 
 /// A connected dominating set produced by a two-phased algorithm, keeping
 /// the phase structure visible: *dominators* (the phase-1 MIS or
@@ -69,10 +101,10 @@ impl Cds {
     ///
     /// # Errors
     ///
-    /// Returns the first violated property, as produced by
-    /// [`mcds_graph::properties::check_cds`].
-    pub fn verify(&self, g: &Graph) -> Result<(), String> {
-        properties::check_cds(g, &self.nodes)
+    /// Returns the first violated property as a typed [`CdsError`] (see
+    /// [`check_cds`]).
+    pub fn verify(&self, g: &Graph) -> Result<(), CdsError> {
+        check_cds(g, &self.nodes)
     }
 }
 
@@ -111,6 +143,39 @@ mod tests {
         assert!(good.verify(&g).is_ok());
         let bad = Cds::new(vec![0, 4], vec![]);
         assert!(bad.verify(&g).is_err());
+    }
+
+    #[test]
+    fn check_reports_first_violation_typed() {
+        let g = Graph::path(5);
+        assert_eq!(check_cds(&g, &[1, 2, 3]), Ok(()));
+        // Node 2 is the first one with no dominator in {0, 4}.
+        assert_eq!(
+            check_cds(&g, &[0, 4]),
+            Err(CdsError::NotDominating { node: 2 })
+        );
+        // {0, 1, 3, 4} dominates but G[{0,1,3,4}] splits at the missing 2.
+        assert_eq!(check_cds(&g, &[0, 1, 3, 4]), Err(CdsError::NotConnected));
+        assert!(matches!(check_cds(&g, &[]), Err(CdsError::InvalidSet(_))));
+        assert_eq!(check_cds(&Graph::empty(0), &[]), Ok(()));
+    }
+
+    #[test]
+    fn typed_checker_agrees_with_reference_checker() {
+        let g = Graph::cycle(9);
+        for set in [
+            vec![],
+            vec![0],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![0, 3, 6],
+            (0..9).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(
+                check_cds(&g, &set).is_ok(),
+                mcds_graph::properties::check_cds(&g, &set).is_ok(),
+                "{set:?}"
+            );
+        }
     }
 
     #[test]

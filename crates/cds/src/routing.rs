@@ -6,6 +6,7 @@
 //! routes can be longer than true shortest paths.  This module measures
 //! it.
 
+use crate::CdsError;
 use mcds_graph::{node_mask, traversal, Graph};
 
 /// Length (hop count) of the shortest `s → t` path whose *intermediate*
@@ -89,9 +90,10 @@ pub struct StretchStats {
 ///
 /// # Errors
 ///
-/// Returns an error if some pair is connected in `g` but unroutable via
-/// the backbone — which means `backbone` is not a CDS.
-pub fn stretch_stats(g: &Graph, backbone: &[usize]) -> Result<StretchStats, String> {
+/// Returns [`CdsError::Unroutable`] naming the first pair that is
+/// connected in `g` but unroutable via the backbone — which means
+/// `backbone` is not a CDS.
+pub fn stretch_stats(g: &Graph, backbone: &[usize]) -> Result<StretchStats, CdsError> {
     let n = g.num_nodes();
     let mut pairs = 0usize;
     let mut sum = 0.0;
@@ -107,9 +109,7 @@ pub fn stretch_stats(g: &Graph, backbone: &[usize]) -> Result<StretchStats, Stri
             }
             let r = routed[t];
             if r == usize::MAX {
-                return Err(format!(
-                    "pair ({s}, {t}) is connected but unroutable via the backbone"
-                ));
+                return Err(CdsError::Unroutable { from: s, to: t });
             }
             pairs += 1;
             let ratio = r as f64 / true_dist[t] as f64;
@@ -200,7 +200,8 @@ mod tests {
         // {1, 5} dominates... not everything; routing from 0 to 6 via {1,5}
         // can't bridge 2..4.
         let err = stretch_stats(&g, &[1, 5]).unwrap_err();
-        assert!(err.contains("unroutable"));
+        assert!(matches!(err, CdsError::Unroutable { .. }));
+        assert!(err.to_string().contains("unroutable"));
     }
 
     #[test]

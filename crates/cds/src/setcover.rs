@@ -2,9 +2,8 @@
 //! and arbitrary-MIS dominators \[1\]/\[9\].
 
 use mcds_graph::{node_mask, Graph};
-use mcds_mis::variants;
 
-use crate::{connect, Cds, CdsError};
+use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 
 /// Chvátal's greedy Set Cover applied to domination: repeatedly pick the
 /// node whose closed neighborhood covers the most still-uncovered nodes
@@ -53,22 +52,18 @@ pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
 ///
 /// Set-cover dominators lack the 2-hop separation property (two dominator
 /// components can be 3 hops apart), so the phase-2 rule is
-/// [`connect::path_connectors`] rather than the paper's max-gain rule.
+/// [`crate::connect::path_connectors`] rather than the paper's max-gain
+/// rule.  Thin wrapper over [`Solver`]; prefer
+/// `Solver::new(Algorithm::ChvatalSetCover).solve(g)` in new code.
 ///
 /// # Errors
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
 pub fn chvatal_cds(g: &Graph) -> Result<Cds, CdsError> {
-    if g.num_nodes() == 0 {
-        return Err(CdsError::EmptyGraph);
-    }
-    if !g.is_connected() {
-        return Err(CdsError::DisconnectedGraph);
-    }
-    let ds = chvatal_dominating_set(g);
-    let connectors = connect::path_connectors(g, &ds)?;
-    Ok(Cds::new(ds, connectors))
+    Solver::new(Algorithm::ChvatalSetCover)
+        .solve(g)
+        .map(Solution::into_cds)
 }
 
 /// The arbitrary-MIS two-phase baseline of \[1\]/\[9\]: a lexicographic
@@ -78,24 +73,19 @@ pub fn chvatal_cds(g: &Graph) -> Result<Cds, CdsError> {
 /// Unlike the paper's BFS-ordered MIS, an arbitrary MIS lacks the 2-hop
 /// separation property — its components can be 3 hops apart, where no
 /// single node merges two of them (e.g. `{0, 3, 5}` on a 6-path).  The
-/// connector rule is therefore [`connect::max_gain_then_paths`].  This
-/// structural difference is exactly the motivation for the special MIS
-/// in \[4\]/\[8\]/\[10\].
+/// connector rule is therefore [`crate::connect::max_gain_then_paths`].
+/// This structural difference is exactly the motivation for the special
+/// MIS in \[4\]/\[8\]/\[10\].  Thin wrapper over [`Solver`]; prefer
+/// `Solver::new(Algorithm::ArbitraryMis).solve(g)` in new code.
 ///
 /// # Errors
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
 pub fn arbitrary_mis_cds(g: &Graph) -> Result<Cds, CdsError> {
-    if g.num_nodes() == 0 {
-        return Err(CdsError::EmptyGraph);
-    }
-    if !g.is_connected() {
-        return Err(CdsError::DisconnectedGraph);
-    }
-    let mis = variants::lexicographic_mis(g);
-    let connectors = connect::max_gain_then_paths(g, &mis)?;
-    Ok(Cds::new(mis, connectors))
+    Solver::new(Algorithm::ArbitraryMis)
+        .solve(g)
+        .map(Solution::into_cds)
 }
 
 /// Verifies the set-cover invariant used in tests: every node is covered

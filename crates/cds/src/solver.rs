@@ -1,0 +1,477 @@
+//! The unified [`Solver`] entry point: one configurable path through
+//! every CDS construction in this crate.
+//!
+//! The free functions ([`crate::waf_cds`], [`crate::greedy_cds`], …)
+//! predate this builder and remain as thin wrappers; new code should
+//! construct a `Solver`:
+//!
+//! ```
+//! use mcds_graph::Graph;
+//! use mcds_cds::{Algorithm, Solver};
+//!
+//! let g = Graph::cycle(16);
+//! let solution = Solver::new(Algorithm::GreedyConnect)
+//!     .root(3)
+//!     .prune(true)
+//!     .timings(true)
+//!     .solve(&g)?;
+//! assert!(solution.cds().verify(&g).is_ok());
+//! assert!(solution.ratio_bound().is_some());
+//! # Ok::<(), mcds_cds::CdsError>(())
+//! ```
+//!
+//! Beyond dispatch, the solver owns the cross-cutting concerns the ad-hoc
+//! entry points each half-implemented: input validation with typed
+//! [`CdsError`]s, per-phase wall-clock accounting ([`PhaseTimings`]),
+//! optional post-verification, and the optional pruning post-pass.
+
+use std::time::{Duration, Instant};
+
+use mcds_graph::Graph;
+use mcds_mis::{variants, BfsMis};
+
+use crate::algorithms::Algorithm;
+use crate::{connect, growth, prune, setcover, waf, Cds, CdsError};
+
+/// Wall-clock time spent in each stage of a solve (all zero unless
+/// [`Solver::timings`] was enabled).
+///
+/// The phase names follow the paper's two-phase structure; `build` is for
+/// callers that also time instance construction (the experiment harness
+/// folds UDG generation in via [`Solution::set_build_time`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Instance/graph construction (set by the caller; the solver itself
+    /// receives a finished graph).
+    pub build: Duration,
+    /// Phase 1 — dominator election (MIS, set cover, or greedy growth).
+    pub phase1: Duration,
+    /// Phase 2 — connector selection.
+    pub phase2: Duration,
+    /// Post-verification against the reference predicates.
+    pub verify: Duration,
+    /// The pruning post-pass.
+    pub prune: Duration,
+}
+
+impl PhaseTimings {
+    /// Total accounted time across all stages.
+    pub fn total(&self) -> Duration {
+        self.build + self.phase1 + self.phase2 + self.verify + self.prune
+    }
+}
+
+/// Lap timer that compiles to no-ops when timing is off.
+struct Stopwatch {
+    last: Option<Instant>,
+}
+
+impl Stopwatch {
+    fn new(enabled: bool) -> Self {
+        Stopwatch {
+            last: enabled.then(Instant::now),
+        }
+    }
+
+    /// Time since the previous lap (zero when disabled).
+    fn lap(&mut self) -> Duration {
+        match self.last {
+            Some(prev) => {
+                let now = Instant::now();
+                self.last = Some(now);
+                now - prev
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Configurable CDS construction: pick the [`Algorithm`], then opt into a
+/// root, verification, pruning, and timing before calling
+/// [`Solver::solve`].
+///
+/// Defaults: root 0 (for the rooted algorithms), no verification, no
+/// pruning, no timing — matching the historical behavior of the free
+/// functions the builder replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solver {
+    algorithm: Algorithm,
+    root: Option<usize>,
+    prune: bool,
+    verify: bool,
+    timings: bool,
+}
+
+impl Solver {
+    /// A solver for `algorithm` with default configuration.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Solver {
+            algorithm,
+            root: None,
+            prune: false,
+            verify: false,
+            timings: false,
+        }
+    }
+
+    /// Roots the construction at `root` (the elected leader).
+    ///
+    /// Only [`Algorithm::WafTree`] and [`Algorithm::GreedyConnect`] are
+    /// root-sensitive; the baselines ignore the root but still validate
+    /// it, so a bad root errors uniformly across algorithms.
+    pub fn root(mut self, root: usize) -> Self {
+        self.root = Some(root);
+        self
+    }
+
+    /// Enables the validity-preserving pruning post-pass (see
+    /// [`crate::prune::prune_cds`]); role labels of surviving nodes are
+    /// kept.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
+        self
+    }
+
+    /// Re-checks the result against the reference CDS predicates before
+    /// returning (an end-to-end guard for experiment pipelines).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Records per-phase wall-clock times into [`Solution::timings`].
+    pub fn timings(mut self, on: bool) -> Self {
+        self.timings = on;
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Runs the configured construction on `g`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
+    /// * [`CdsError::InvalidRoot`] if a configured root is out of range,
+    /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected,
+    /// * any typed verification error when [`Solver::verify`] is on and
+    ///   the construction produced an invalid set (a bug, not an input
+    ///   condition),
+    /// * [`CdsError::Stalled`] if connector selection wedges (likewise
+    ///   impossible on valid inputs).
+    pub fn solve(&self, g: &Graph) -> Result<Solution, CdsError> {
+        let n = g.num_nodes();
+        if n == 0 {
+            return Err(CdsError::EmptyGraph);
+        }
+        if let Some(root) = self.root {
+            if root >= n {
+                return Err(CdsError::InvalidRoot { root, nodes: n });
+            }
+        }
+        let root = self.root.unwrap_or(0);
+        let mut watch = Stopwatch::new(self.timings);
+        let mut timings = PhaseTimings::default();
+
+        let (dominators, connectors) = match self.algorithm {
+            Algorithm::WafTree => {
+                let phase1 = BfsMis::compute(g, root);
+                if !phase1.tree().spans(g) {
+                    return Err(CdsError::DisconnectedGraph);
+                }
+                let mis = phase1.mis().to_vec();
+                timings.phase1 = watch.lap();
+                let connectors = waf::waf_connectors(g, &phase1, root);
+                timings.phase2 = watch.lap();
+                (mis, connectors)
+            }
+            Algorithm::GreedyConnect => {
+                let phase1 = BfsMis::compute(g, root);
+                if !phase1.tree().spans(g) {
+                    return Err(CdsError::DisconnectedGraph);
+                }
+                let mis = phase1.mis().to_vec();
+                timings.phase1 = watch.lap();
+                let connectors = connect::max_gain_connectors(g, &mis).map_err(|e| match e {
+                    // An MIS of a connected graph can never stall
+                    // (Lemma 9); surface any other error as-is.
+                    CdsError::Stalled(msg) => {
+                        CdsError::Stalled(format!("unexpected on MIS seed: {msg}"))
+                    }
+                    other => other,
+                })?;
+                timings.phase2 = watch.lap();
+                (mis, connectors)
+            }
+            Algorithm::ChvatalSetCover => {
+                if !g.is_connected() {
+                    return Err(CdsError::DisconnectedGraph);
+                }
+                let ds = setcover::chvatal_dominating_set(g);
+                timings.phase1 = watch.lap();
+                let connectors = connect::path_connectors(g, &ds)?;
+                timings.phase2 = watch.lap();
+                (ds, connectors)
+            }
+            Algorithm::ArbitraryMis => {
+                if !g.is_connected() {
+                    return Err(CdsError::DisconnectedGraph);
+                }
+                let mis = variants::lexicographic_mis(g);
+                timings.phase1 = watch.lap();
+                let connectors = connect::max_gain_then_paths(g, &mis)?;
+                timings.phase2 = watch.lap();
+                (mis, connectors)
+            }
+            Algorithm::GreedyGrowth => {
+                if !g.is_connected() {
+                    return Err(CdsError::DisconnectedGraph);
+                }
+                // Single-phase: the whole grown set counts as phase 1.
+                let set = growth::grow(g);
+                timings.phase1 = watch.lap();
+                (set, Vec::new())
+            }
+        };
+
+        let mut cds = Cds::new(dominators, connectors);
+        if self.verify {
+            cds.verify(g)?;
+            timings.verify = watch.lap();
+        }
+        let mut pruned_from = None;
+        if self.prune {
+            let kept = prune::prune_cds(g, cds.nodes())?;
+            if kept.len() < cds.len() {
+                pruned_from = Some(cds.len());
+                let keep = |v: &&usize| kept.binary_search(v).is_ok();
+                cds = Cds::new(
+                    cds.dominators().iter().filter(keep).copied().collect(),
+                    cds.connectors().iter().filter(keep).copied().collect(),
+                );
+            }
+            timings.prune = watch.lap();
+        }
+
+        Ok(Solution {
+            algorithm: self.algorithm,
+            cds,
+            timings,
+            pruned_from,
+        })
+    }
+}
+
+/// The outcome of a [`Solver`] run: the [`Cds`] plus its provenance
+/// (algorithm, per-phase timings, pruning effect, proven ratio bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    algorithm: Algorithm,
+    cds: Cds,
+    timings: PhaseTimings,
+    pruned_from: Option<usize>,
+}
+
+impl Solution {
+    /// The algorithm that produced this solution.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The constructed CDS with its phase roles.
+    pub fn cds(&self) -> &Cds {
+        &self.cds
+    }
+
+    /// All CDS nodes (sorted); shorthand for `self.cds().nodes()`.
+    pub fn nodes(&self) -> &[usize] {
+        self.cds.nodes()
+    }
+
+    /// Total CDS size.
+    pub fn len(&self) -> usize {
+        self.cds.len()
+    }
+
+    /// Returns `true` if the CDS has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.cds.is_empty()
+    }
+
+    /// Per-phase wall-clock accounting (zeros unless [`Solver::timings`]
+    /// was enabled).
+    pub fn timings(&self) -> &PhaseTimings {
+        &self.timings
+    }
+
+    /// Folds the caller's instance-construction time into
+    /// [`PhaseTimings::build`] (the solver never sees graph generation).
+    pub fn set_build_time(&mut self, build: Duration) {
+        self.timings.build = build;
+    }
+
+    /// Pre-pruning CDS size, if pruning was enabled and removed nodes.
+    pub fn pruned_from(&self) -> Option<usize> {
+        self.pruned_from
+    }
+
+    /// The proven approximation-ratio bound for this algorithm on unit-
+    /// disk graphs, if a constant one is known (Theorems 8 and 10).
+    pub fn ratio_bound(&self) -> Option<f64> {
+        self.algorithm.ratio_bound()
+    }
+
+    /// Consumes the solution, keeping only the CDS.
+    pub fn into_cds(self) -> Cds {
+        self.cds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_graph::properties;
+
+    fn gnarly() -> Graph {
+        Graph::from_edges(
+            12,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 0),
+                (2, 8),
+                (5, 11),
+            ],
+        )
+    }
+
+    #[test]
+    fn solver_matches_free_functions() {
+        let g = gnarly();
+        for alg in Algorithm::ALL {
+            let via_solver = Solver::new(alg).solve(&g).unwrap();
+            let via_free = alg.run(&g).unwrap();
+            assert_eq!(via_solver.cds(), &via_free, "{alg}");
+            assert_eq!(via_solver.algorithm(), alg);
+        }
+    }
+
+    #[test]
+    fn rooted_solves_match_rooted_free_functions() {
+        let g = gnarly();
+        for root in 0..g.num_nodes() {
+            let s = Solver::new(Algorithm::GreedyConnect)
+                .root(root)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(s.cds(), &crate::greedy_cds_rooted(&g, root).unwrap());
+            let w = Solver::new(Algorithm::WafTree)
+                .root(root)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(w.cds(), &crate::waf_cds_rooted(&g, root).unwrap());
+        }
+    }
+
+    #[test]
+    fn typed_input_errors() {
+        assert_eq!(
+            Solver::new(Algorithm::WafTree).solve(&Graph::empty(0)),
+            Err(CdsError::EmptyGraph)
+        );
+        assert_eq!(
+            Solver::new(Algorithm::GreedyConnect)
+                .root(7)
+                .solve(&Graph::path(3)),
+            Err(CdsError::InvalidRoot { root: 7, nodes: 3 })
+        );
+        // Baselines validate the root too, even though they ignore it.
+        assert_eq!(
+            Solver::new(Algorithm::GreedyGrowth)
+                .root(99)
+                .solve(&Graph::path(3)),
+            Err(CdsError::InvalidRoot { root: 99, nodes: 3 })
+        );
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        for alg in Algorithm::ALL {
+            assert_eq!(
+                Solver::new(alg).solve(&split),
+                Err(CdsError::DisconnectedGraph),
+                "{alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_and_prune_flags() {
+        let g = Graph::cycle(15);
+        for alg in Algorithm::ALL {
+            let sol = Solver::new(alg).verify(true).prune(true).solve(&g).unwrap();
+            assert!(properties::is_connected_dominating_set(&g, sol.nodes()));
+            if let Some(before) = sol.pruned_from() {
+                assert!(sol.len() < before, "{alg}");
+            }
+            // Pruned roles stay a partition of the pruned set.
+            let rebuilt: Vec<usize> = mcds_graph::node_set(
+                sol.cds()
+                    .dominators()
+                    .iter()
+                    .chain(sol.cds().connectors())
+                    .copied(),
+            );
+            assert_eq!(rebuilt, sol.nodes(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn timings_populated_only_on_request() {
+        let g = Graph::cycle(40);
+        let quiet = Solver::new(Algorithm::GreedyConnect).solve(&g).unwrap();
+        assert_eq!(quiet.timings().total(), Duration::ZERO);
+        let timed = Solver::new(Algorithm::GreedyConnect)
+            .verify(true)
+            .timings(true)
+            .solve(&g)
+            .unwrap();
+        // phase1 must be nonzero on any real clock; total ≥ each part.
+        assert!(timed.timings().total() >= timed.timings().phase1);
+        let mut s = timed.clone();
+        s.set_build_time(Duration::from_millis(3));
+        assert_eq!(s.timings().build, Duration::from_millis(3));
+        assert!(s.timings().total() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn ratio_bound_flows_from_algorithm() {
+        let g = Graph::path(9);
+        let sol = Solver::new(Algorithm::WafTree).solve(&g).unwrap();
+        assert_eq!(sol.ratio_bound(), Algorithm::WafTree.ratio_bound());
+        let sol = Solver::new(Algorithm::GreedyGrowth).solve(&g).unwrap();
+        assert_eq!(sol.ratio_bound(), None);
+    }
+
+    #[test]
+    fn pruning_whole_vertex_set_keeps_roles_consistent() {
+        // A case where pruning definitely removes nodes: run the chvatal
+        // baseline on a path, whose set-cover dominators + path connectors
+        // can carry slack.
+        let g = Graph::path(30);
+        let sol = Solver::new(Algorithm::ChvatalSetCover)
+            .prune(true)
+            .solve(&g)
+            .unwrap();
+        assert!(properties::is_connected_dominating_set(&g, sol.nodes()));
+    }
+}

@@ -4,11 +4,13 @@
 use mcds_graph::Graph;
 use mcds_mis::BfsMis;
 
-use crate::{Cds, CdsError};
+use crate::{Algorithm, Cds, CdsError, Solver};
 
 /// Runs the WAF algorithm rooted at the minimum-id node.
 ///
-/// See [`waf_cds_rooted`] for the construction and guarantees.
+/// See [`waf_cds_rooted`] for the construction and guarantees.  Thin
+/// wrapper over [`Solver`]; prefer
+/// `Solver::new(Algorithm::WafTree).solve(g)` in new code.
 ///
 /// # Errors
 ///
@@ -40,22 +42,26 @@ pub fn waf_cds(g: &Graph) -> Result<Cds, CdsError> {
 ///
 /// # Panics
 ///
-/// Panics if `root` is out of range.
+/// Panics if `root` is out of range (the [`Solver`] path reports
+/// [`CdsError::InvalidRoot`] instead).
 pub fn waf_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
-    if g.num_nodes() == 0 {
-        return Err(CdsError::EmptyGraph);
+    match Solver::new(Algorithm::WafTree).root(root).solve(g) {
+        Ok(solution) => Ok(solution.into_cds()),
+        Err(CdsError::InvalidRoot { root, .. }) => panic!("root {root} out of range"),
+        Err(e) => Err(e),
     }
-    assert!(root < g.num_nodes(), "root {root} out of range");
-    let phase1 = BfsMis::compute(g, root);
-    if !phase1.tree().spans(g) {
-        return Err(CdsError::DisconnectedGraph);
-    }
-    let mis = phase1.mis().to_vec();
+}
+
+/// Phase 2 of the WAF construction: the special neighbor `s` plus the
+/// BFS-tree parents of the dominators `s` does not cover.  `phase1` must
+/// be the BFS MIS of `g` rooted at `root`, spanning `g`.
+pub(crate) fn waf_connectors(g: &Graph, phase1: &BfsMis, root: usize) -> Vec<usize> {
+    let mis = phase1.mis();
 
     // A single dominator already dominates everything and is trivially
     // connected (γ_c = 1 case).
     if mis.len() <= 1 {
-        return Ok(Cds::new(mis, Vec::new()));
+        return Vec::new();
     }
 
     // s: the root's neighbor covering the most dominators.
@@ -76,7 +82,7 @@ pub fn waf_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
     let covered_mask = mcds_graph::node_mask(g.num_nodes(), &covered_by_s);
 
     let mut connectors = vec![s];
-    for &u in &mis {
+    for &u in mis {
         if !covered_mask[u] {
             let p = phase1
                 .tree()
@@ -92,7 +98,7 @@ pub fn waf_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
             <= mis.len() - covered_by_s.len() + 1
     );
 
-    Ok(Cds::new(mis, connectors))
+    connectors
 }
 
 #[cfg(test)]

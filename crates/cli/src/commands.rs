@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use crate::CliError;
+use mcds_bench::sweeps::{mean_timings, ms, timed_trials, Cell};
 use mcds_cds::algorithms::Algorithm;
+use mcds_cds::Solver;
 use mcds_graph::{dot, properties, traversal};
 use mcds_maintain::{
     waypoint_epoch, ChurnConfig, ChurnGen, MaintainConfig, Maintainer, StabilityMetrics,
@@ -82,48 +84,66 @@ pub fn stats(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Resolves `--alg` via the registry's own parser ([`mcds_cds::parse_selector`]),
+/// turning unknown names into usage errors.
 fn algorithms_for(name: &str) -> Result<Vec<Algorithm>, CliError> {
-    if name == "all" {
-        return Ok(Algorithm::ALL.to_vec());
+    mcds_cds::parse_selector(name).map_err(|e| CliError::Usage(e.to_string()))
+}
+
+/// Parses `--threads` (default: available parallelism) and configures the
+/// process-wide worker pool to that width.
+fn configure_pool(args: &Args) -> Result<usize, CliError> {
+    let threads: usize = args.parsed_or("threads", mcds_pool::default_parallelism())?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
     }
-    Algorithm::ALL
-        .iter()
-        .copied()
-        .find(|a| a.name() == name)
-        .map(|a| vec![a])
-        .ok_or_else(|| CliError::Usage(format!("unknown --alg {name}")))
+    mcds_pool::global::configure(threads);
+    Ok(threads)
 }
 
 /// `solve`: run the CDS algorithms.
 pub fn solve(argv: &[String]) -> Result<(), CliError> {
-    let args = Args::parse(argv, &["alg", "dot", "svg"], &["prune"])?;
+    let args = Args::parse(
+        argv,
+        &["alg", "dot", "svg", "threads"],
+        &["prune", "timings"],
+    )?;
     let udg = load(&args)?;
     let g = udg.graph();
+    configure_pool(&args)?;
     let algs = algorithms_for(args.value("alg").unwrap_or("greedy"))?;
+    let show_timings = args.switch("timings");
     let mut last: Option<(Algorithm, mcds_cds::Cds)> = None;
     for alg in &algs {
-        let cds = alg
-            .run(g)
+        let solution = Solver::new(*alg)
+            .verify(true)
+            .prune(args.switch("prune"))
+            .timings(show_timings)
+            .solve(g)
             .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
-        cds.verify(g).map_err(|e| {
-            CliError::Runtime(format!("{} produced an invalid CDS: {e}", alg.name()))
-        })?;
-        let size = cds.len();
-        let mut suffix = String::new();
-        if args.switch("prune") {
-            let pruned = mcds_cds::prune::prune_cds(g, cds.nodes())
-                .map_err(|e| CliError::Runtime(e.to_string()))?;
-            suffix = format!(" -> {} after pruning", pruned.len());
-        }
+        let suffix = match solution.pruned_from() {
+            Some(orig) => format!(" (pruned from {orig})"),
+            None => String::new(),
+        };
         println!(
             "{:<8} |CDS| = {:<4} ({} dominators + {} connectors){}",
             alg.name(),
-            size,
-            cds.dominators().len(),
-            cds.connectors().len(),
+            solution.len(),
+            solution.cds().dominators().len(),
+            solution.cds().connectors().len(),
             suffix
         );
-        last = Some((*alg, cds));
+        if show_timings {
+            let t = solution.timings();
+            println!(
+                "         phase1 {} ms, phase2 {} ms, verify {} ms, prune {} ms",
+                ms(t.phase1),
+                ms(t.phase2),
+                ms(t.verify),
+                ms(t.prune)
+            );
+        }
+        last = Some((*alg, solution.into_cds()));
     }
     if let (Some(path), Some((alg, cds))) = (args.value("svg"), last.as_ref()) {
         let style = mcds_viz::UdgStyle {
@@ -148,6 +168,72 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
         std::fs::write(path, dot::to_dot(g, "cds", &style))
             .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
         println!("wrote {path} ({} backbone)", alg.name());
+    }
+    Ok(())
+}
+
+/// `sweep`: pooled multi-trial sweep over seeded random connected
+/// instances, reporting mean sizes and per-phase wall times.
+///
+/// Trials fan out over the worker pool (`--threads`); the sizes — and the
+/// optional `--out` CSV — are bit-identical at any width because every
+/// trial derives its RNG from a per-trial stream of the master seed (the
+/// `mcds-pool` determinism contract).  Only the wall times change.
+pub fn sweep(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &["alg", "n", "side", "trials", "seed", "threads", "out"],
+        &[],
+    )?;
+    let n: usize = args.parsed_or("n", 200)?;
+    let side: f64 = args.parsed_or("side", 8.0)?;
+    let trials: usize = args.parsed_or("trials", 10)?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+    if n == 0 || trials == 0 {
+        return Err(CliError::Usage(
+            "sweep needs --n >= 1 and --trials >= 1".into(),
+        ));
+    }
+    let threads = configure_pool(&args)?;
+    let algs = algorithms_for(args.value("alg").unwrap_or("all"))?;
+    let cell = Cell {
+        n,
+        side,
+        instances: trials,
+    };
+    println!("sweep: {trials} trial(s) of n={n}, side={side}, seed={seed} on {threads} thread(s)");
+    let mut rows: Vec<String> = vec!["alg,trial,n,size".into()];
+    for alg in algs {
+        let ts = timed_trials(alg, cell, seed);
+        if ts.is_empty() {
+            println!("{:<8} no usable instances in this cell", alg.name());
+            continue;
+        }
+        let mean_size = ts.iter().map(|t| t.solution.len() as f64).sum::<f64>() / ts.len() as f64;
+        let t = mean_timings(&ts);
+        println!(
+            "{:<8} mean |CDS| {:>7.2}  gen {:>8} ms  phase1 {:>8} ms  phase2 {:>8} ms  verify {:>8} ms",
+            alg.name(),
+            mean_size,
+            ms(t.build),
+            ms(t.phase1),
+            ms(t.phase2),
+            ms(t.verify)
+        );
+        for (i, trial) in ts.iter().enumerate() {
+            rows.push(format!(
+                "{},{},{},{}",
+                alg.name(),
+                i,
+                trial.n,
+                trial.solution.len()
+            ));
+        }
+    }
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, rows.join("\n") + "\n")
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+        println!("wrote {path} ({} rows)", rows.len() - 1);
     }
     Ok(())
 }
@@ -311,8 +397,9 @@ pub fn route(argv: &[String]) -> Result<(), CliError> {
     }
     println!("shortest path {from} -> {to}: {true_dist} hops");
     for alg in algs {
-        let cds = alg
-            .run(g)
+        let cds = Solver::new(alg)
+            .solve(g)
+            .map(mcds_cds::Solution::into_cds)
             .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
         let via = mcds_cds::routing::backbone_route_length(g, cds.nodes(), from, to)
             .ok_or_else(|| CliError::Runtime("backbone does not route this pair".into()))?;
@@ -350,8 +437,9 @@ pub fn broadcast(argv: &[String]) -> Result<(), CliError> {
         g.num_nodes()
     );
     for alg in algorithms_for(args.value("alg").unwrap_or("greedy"))? {
-        let cds = alg
-            .run(g)
+        let cds = Solver::new(alg)
+            .solve(g)
+            .map(mcds_cds::Solution::into_cds)
             .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
         let out = mcds_distsim::protocols::run_broadcast(g, source, cds.nodes())
             .map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -434,6 +522,7 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
             "speed-max",
             "pause",
             "dt",
+            "threads",
         ],
         &["waypoint", "verbose"],
     )?;
@@ -441,6 +530,7 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
     let side: f64 = args.parsed_or("side", 6.0)?;
     let seed: u64 = args.parsed_or("seed", 1)?;
     let events: usize = args.parsed_or("events", 200)?;
+    configure_pool(&args)?;
     let drift: f64 = args.parsed_or("drift", 1.75)?;
     let verbose = args.switch("verbose");
 
@@ -709,6 +799,47 @@ mod tests {
             broadcast(&sv(&[&f, "--source", "999"])),
             Err(CliError::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn sweep_csv_identical_across_thread_widths() {
+        let f1 = tmp("sweep_t1.csv");
+        let f4 = tmp("sweep_t4.csv");
+        let base = ["--n", "40", "--side", "4", "--trials", "4", "--seed", "7"];
+        let mut a1 = sv(&base);
+        a1.extend(sv(&["--threads", "1", "--out", &f1]));
+        let mut a4 = sv(&base);
+        a4.extend(sv(&["--threads", "4", "--out", &f4]));
+        sweep(&a1).unwrap();
+        sweep(&a4).unwrap();
+        let c1 = std::fs::read_to_string(&f1).unwrap();
+        let c4 = std::fs::read_to_string(&f4).unwrap();
+        assert!(c1.lines().count() > 1, "sweep produced no rows");
+        assert_eq!(c1, c4, "sweep CSV must be byte-identical at any width");
+        assert!(matches!(
+            sweep(&sv(&["--alg", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            sweep(&sv(&["--trials", "0"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn solve_unknown_alg_is_usage_error() {
+        let f = tmp("inst_unknown_alg.udg");
+        gen(&sv(&["--n", "20", "--side", "3", "--seed", "2", "-o", &f])).unwrap();
+        match solve(&sv(&[&f, "--alg", "bogus"])) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("bogus"));
+                assert!(
+                    msg.contains("greedy"),
+                    "message should list valid names: {msg}"
+                );
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

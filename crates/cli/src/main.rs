@@ -5,7 +5,9 @@
 //!                 [--connected] -o inst.udg
 //! mcds-cli stats  inst.udg
 //! mcds-cli solve  inst.udg [--alg greedy|waf|chvatal|arb-mis|all] [--prune]
-//!                 [--dot out.dot]
+//!                 [--timings] [--threads T] [--dot out.dot]
+//! mcds-cli sweep  [--alg NAME|all] [--n N] [--side S] [--trials T]
+//!                 [--seed S] [--threads T] [--out sizes.csv]
 //! mcds-cli exact  inst.udg [--budget STEPS]
 //! mcds-cli verify inst.udg --nodes 1,5,9
 //! mcds-cli dist   inst.udg
@@ -60,7 +62,9 @@ usage:
                   [--connected] -o FILE
   mcds-cli stats  FILE
   mcds-cli solve  FILE [--alg greedy|waf|chvatal|arb-mis|gk-grow|all] [--prune]
-                  [--dot FILE] [--svg FILE]
+                  [--timings] [--threads T] [--dot FILE] [--svg FILE]
+  mcds-cli sweep  [--alg NAME|all] [--n N] [--side S] [--trials T] [--seed SEED]
+                  [--threads T] [--out FILE]
   mcds-cli exact  FILE [--budget STEPS]
   mcds-cli verify FILE --nodes a,b,c
   mcds-cli dist   FILE
@@ -69,7 +73,7 @@ usage:
   mcds-cli route  FILE --from A --to B [--alg NAME]
   mcds-cli broadcast FILE [--source S] [--alg NAME]
   mcds-cli churn  [--n N] [--side S] [--seed SEED] [--events E] [--drift F]
-                  [--p-join P] [--p-leave P] [--move-radius R] [--verbose]
+                  [--p-join P] [--p-leave P] [--move-radius R] [--threads T] [--verbose]
                   [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]";
 
 /// CLI error split by exit code.
@@ -96,6 +100,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "gen" => commands::gen(rest),
         "stats" => commands::stats(rest),
         "solve" => commands::solve(rest),
+        "sweep" => commands::sweep(rest),
         "exact" => commands::exact(rest),
         "verify" => commands::verify(rest),
         "dist" => commands::dist(rest),

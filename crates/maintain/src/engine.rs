@@ -28,7 +28,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use mcds_cds::greedy_cds;
+use mcds_cds::{Algorithm, Solver};
 use mcds_geom::Point;
 use mcds_graph::{node_mask, properties, subsets, traversal, Graph};
 use mcds_udg::mobility::survival_fraction;
@@ -294,10 +294,13 @@ impl Maintainer {
             .count()
     }
 
-    /// Replaces the backbone with a fresh `greedy_cds` of the snapshot,
+    /// Replaces the backbone with a fresh greedy CDS of the snapshot,
     /// returning its size.
     fn adopt_fresh(&mut self, snap: &Snapshot) -> usize {
-        let cds = greedy_cds(&snap.graph).expect("giant component is connected and non-empty");
+        let cds = Solver::new(Algorithm::GreedyConnect)
+            .solve(&snap.graph)
+            .expect("giant component is connected and non-empty")
+            .into_cds();
         self.dominators = cds.dominators().iter().map(|&v| snap.ids[v]).collect();
         self.connectors = cds.connectors().iter().map(|&v| snap.ids[v]).collect();
         cds.len()
@@ -344,7 +347,8 @@ impl Maintainer {
                 valid: true,
             };
         };
-        let baseline_size = greedy_cds(&snap.graph)
+        let baseline_size = Solver::new(Algorithm::GreedyConnect)
+            .solve(&snap.graph)
             .expect("giant component is connected and non-empty")
             .len();
 

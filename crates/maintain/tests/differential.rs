@@ -9,7 +9,7 @@
 //! bound hold by construction; the test pins it against regressions in
 //! the drift accounting).
 
-use mcds_cds::greedy_cds;
+use mcds_cds::{Algorithm, Solver};
 use mcds_geom::{Aabb, Point};
 use mcds_graph::{properties, traversal};
 use mcds_maintain::{
@@ -53,7 +53,8 @@ fn audit(engine: &Maintainer, context: &str) -> (usize, usize, usize) {
         backbone_local
     );
 
-    let fresh = greedy_cds(sub.graph())
+    let fresh = Solver::new(Algorithm::GreedyConnect)
+        .solve(sub.graph())
         .expect("giant component is connected and non-empty")
         .len();
     assert!(

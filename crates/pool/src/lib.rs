@@ -1,0 +1,504 @@
+//! Hermetic work-stealing parallelism for the `mcds` workspace.
+//!
+//! The workspace is dependency-free by design (see the workspace
+//! `Cargo.toml`), so this crate provides the parallel substrate that
+//! `rayon` would otherwise supply: a [`ThreadPool`] with a
+//! [`ThreadPool::scope`]/[`PoolScope::spawn`] API for fire-and-forget
+//! subtasks and a deterministic, order-preserving
+//! [`ThreadPool::parallel_map`] for fan-out/fan-in over a work list.
+//!
+//! # Scheduling
+//!
+//! Each parallel region runs a team of scoped worker threads (one per
+//! configured thread).  Spawned jobs land in per-worker deques,
+//! round-robin; a worker pops its own deque from the front and, when it
+//! runs dry, *steals* from the back of a sibling's deque.  The team is
+//! created per region with [`std::thread::scope`], which keeps the whole
+//! crate in safe Rust and lets jobs borrow from the caller's stack —
+//! exactly what the sweep harness needs.  Worker startup is a few tens of
+//! microseconds; the workloads this crate exists for (UDG construction,
+//! experiment trials) are milliseconds to seconds per region.
+//!
+//! # Determinism contract
+//!
+//! [`ThreadPool::parallel_map`] returns results **in input order**, no
+//! matter which worker ran which item or in what interleaving.  Combined
+//! with per-task RNG stream splitting (`mcds_rng::split_seed`), a sweep
+//! that derives each trial's generator from `(master_seed, trial_index)`
+//! produces bit-identical output at any thread count — `--threads 4`
+//! reproduces `--threads 1` exactly.  See `DESIGN.md` for the full
+//! contract.
+//!
+//! ```
+//! use mcds_pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.parallel_map((0..100u64).collect(), |i, x| {
+//!     debug_assert_eq!(i as u64, x);
+//!     x * x
+//! });
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+pub mod global;
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A work-stealing thread pool of a fixed logical width.
+///
+/// The pool itself is a lightweight handle (the worker team is raised per
+/// parallel region; see the crate docs), so it is cheap to construct,
+/// clone and pass around.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool that runs parallel regions on `threads` workers.
+    ///
+    /// `threads` is clamped to at least 1; a one-thread pool executes
+    /// everything inline on the calling thread (no workers, no locks),
+    /// which is the reference schedule parallel runs must reproduce.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool as wide as [`std::thread::available_parallelism`] (falling
+    /// back to 1 if the platform cannot report it).
+    pub fn with_default_parallelism() -> Self {
+        ThreadPool::new(default_parallelism())
+    }
+
+    /// The configured logical width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`PoolScope`] on which subtasks can be spawned.
+    ///
+    /// All spawned jobs complete before `scope` returns.  Jobs may borrow
+    /// anything that outlives the `scope` call.  If a job panics, the
+    /// panic is re-raised on the calling thread after the region drains.
+    ///
+    /// ```
+    /// use mcds_pool::ThreadPool;
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    ///
+    /// let pool = ThreadPool::new(3);
+    /// let hits = AtomicUsize::new(0);
+    /// pool.scope(|scope| {
+    ///     for _ in 0..32 {
+    ///         scope.spawn(|| {
+    ///             hits.fetch_add(1, Ordering::Relaxed);
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(hits.load(Ordering::Relaxed), 32);
+    /// ```
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        if self.threads == 1 {
+            // Inline reference schedule: jobs run immediately on spawn.
+            let shared = Shared::new(1);
+            let scope = PoolScope {
+                shared: &shared,
+                next_queue: AtomicUsize::new(0),
+                inline: true,
+            };
+            let result = f(&scope);
+            if let Some(payload) = shared.take_panic() {
+                resume_unwind(payload);
+            }
+            return result;
+        }
+        let shared = Shared::new(self.threads);
+        let result = std::thread::scope(|s| {
+            for worker in 0..self.threads {
+                let shared = &shared;
+                s.spawn(move || shared.worker_loop(worker));
+            }
+            // Close the region even if `f` panics, so the workers always
+            // drain and exit and `std::thread::scope` can join them.
+            let _guard = CloseGuard { shared: &shared };
+            let scope = PoolScope {
+                shared: &shared,
+                next_queue: AtomicUsize::new(0),
+                inline: false,
+            };
+            f(&scope)
+        });
+        if let Some(payload) = shared.take_panic() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Applies `f` to every item concurrently and returns the results **in
+    /// input order** — the cornerstone of the workspace's deterministic
+    /// parallelism (see the crate docs).
+    ///
+    /// `f` receives `(index, item)`.  With one thread (or at most one
+    /// item) the map runs inline, sequentially, in index order; that
+    /// schedule is what wider pools reproduce.  A panic inside `f` is
+    /// re-raised on the calling thread.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let n = items.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, PanicPayload>)>();
+        let f = &f;
+        self.scope(move |scope| {
+            for (i, item) in items.into_iter().enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                    // The region owner holds the receiver for exactly `n`
+                    // messages; a send can only fail if it panicked, in
+                    // which case the job outcome is moot.
+                    let _ = tx.send((i, out.map_err(|p| p as PanicPayload)));
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+            for (i, out) in rx {
+                match out {
+                    Ok(r) => slots[i] = Some(r),
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every spawned job reports exactly once"))
+                .collect()
+        })
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_default_parallelism()
+    }
+}
+
+/// The number of logical CPUs, or 1 when the platform will not say.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Handle for spawning subtasks inside [`ThreadPool::scope`].
+pub struct PoolScope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+    next_queue: AtomicUsize,
+    inline: bool,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Queues `job` for execution by the region's workers.
+    ///
+    /// Jobs are dealt to per-worker deques round-robin; idle workers
+    /// steal.  On a one-thread pool the job runs immediately, inline.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        if self.inline {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                self.shared.record_panic(payload);
+            }
+            return;
+        }
+        let target = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.push(target, Box::new(job));
+    }
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope")
+            .field("workers", &self.shared.queues.len())
+            .field("inline", &self.inline)
+            .finish()
+    }
+}
+
+struct CloseGuard<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+}
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+/// Region state shared between the owner thread and the worker team.
+struct Shared<'env> {
+    /// One deque per worker; owners pop the front, thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Progress accounting, guarded by one mutex so the condvar protocol
+    /// has a single source of truth.
+    state: Mutex<RegionState>,
+    idle: Condvar,
+    first_panic: Mutex<Option<PanicPayload>>,
+}
+
+struct RegionState {
+    /// Jobs spawned and not yet finished (queued or running).
+    pending: usize,
+    /// Jobs queued and not yet claimed by any worker.
+    unclaimed: usize,
+    /// The region owner finished spawning; workers may exit once
+    /// `pending` reaches zero.
+    closed: bool,
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(RegionState {
+                pending: 0,
+                unclaimed: 0,
+                closed: false,
+            }),
+            idle: Condvar::new(),
+            first_panic: Mutex::new(None),
+        }
+    }
+
+    fn push(&self, target: usize, job: Job<'env>) {
+        {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            st.pending += 1;
+            st.unclaimed += 1;
+        }
+        self.queues[target]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        self.idle.notify_one();
+    }
+
+    /// Claims one job: own deque front first, then steal siblings' backs.
+    fn grab(&self, me: usize) -> Option<Job<'env>> {
+        let width = self.queues.len();
+        for offset in 0..width {
+            let k = (me + offset) % width;
+            let mut q = self.queues[k].lock().expect("pool queue poisoned");
+            let job = if offset == 0 {
+                q.pop_front()
+            } else {
+                q.pop_back()
+            };
+            if let Some(job) = job {
+                drop(q);
+                let mut st = self.state.lock().expect("pool state poisoned");
+                st.unclaimed -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(job) = self.grab(me) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    self.record_panic(payload);
+                }
+                let mut st = self.state.lock().expect("pool state poisoned");
+                st.pending -= 1;
+                if st.pending == 0 && st.closed {
+                    self.idle.notify_all();
+                }
+                continue;
+            }
+            let mut st = self.state.lock().expect("pool state poisoned");
+            loop {
+                if st.closed && st.pending == 0 {
+                    return;
+                }
+                if st.unclaimed > 0 {
+                    // A job was (or is being) published; go claim it.
+                    break;
+                }
+                st = self.idle.wait(st).expect("pool state poisoned");
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.closed = true;
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    fn record_panic(&self, payload: PanicPayload) {
+        let mut slot = self.first_panic.lock().expect("panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    fn take_panic(&self) -> Option<PanicPayload> {
+        self.first_panic.lock().expect("panic slot poisoned").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let got = pool.parallel_map(items.clone(), |_, x| x * 3 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_passes_matching_indices() {
+        let pool = ThreadPool::new(4);
+        let got = pool.parallel_map((0..64usize).collect(), |i, x| {
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<u8> = pool.parallel_map(Vec::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.parallel_map(vec![9], |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_jobs() {
+        let pool = ThreadPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for k in 1..=100u64 {
+                let sum = &sum;
+                scope.spawn(move || {
+                    sum.fetch_add(k, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn jobs_can_borrow_caller_state() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..32).collect();
+        let doubled = pool.parallel_map((0..data.len()).collect(), |_, i| data[i] * 2);
+        assert_eq!(doubled[31], 62);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // Front-load all the heavy items; a non-stealing scheduler with a
+        // static split would serialize them on one worker.  We only check
+        // correctness here — the schedule itself is unobservable by design.
+        let pool = ThreadPool::new(4);
+        let got = pool.parallel_map((0..40u64).collect(), |i, x| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.parallel_map(vec![1, 2], |_, x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_parallel_maps_work() {
+        let outer = ThreadPool::new(2);
+        let inner_width = 2;
+        let got = outer.parallel_map((0..4u64).collect(), move |_, x| {
+            let inner = ThreadPool::new(inner_width);
+            inner
+                .parallel_map((0..8u64).collect(), move |_, y| x * 8 + y)
+                .iter()
+                .sum::<u64>()
+        });
+        assert_eq!(got.iter().sum::<u64>(), (0..32u64).sum());
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_map((0..16).collect::<Vec<u32>>(), |_, x| {
+                    assert!(x != 7, "boom at {x}");
+                    x
+                })
+            }));
+            assert!(result.is_err(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scope_panic_propagates_and_region_drains() {
+        let pool = ThreadPool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                for k in 0..8usize {
+                    let done = &done;
+                    scope.spawn(move || {
+                        if k == 3 {
+                            panic!("job 3 fails");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn default_pool_reports_width() {
+        let pool = ThreadPool::default();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.threads(), default_parallelism());
+    }
+}

@@ -2,7 +2,12 @@
 
 use mcds_geom::{grid::GridIndex, Point};
 use mcds_graph::Graph;
+use mcds_pool::ThreadPool;
 use std::fmt;
+
+/// Below this node count the parallel bucket pass is not worth the
+/// fan-out overhead; construction stays on the calling thread.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 /// A unit-disk-graph instance: a planar point set and the undirected graph
 /// it induces under a fixed communication radius.
@@ -34,11 +39,38 @@ impl Udg {
 
     /// Builds the disk graph with communication radius `radius`.
     ///
+    /// Large instances use a parallel bucket pass over the process-wide
+    /// pool ([`mcds_pool::global`]); since that pool defaults to one
+    /// thread, library users get sequential construction unless a front
+    /// end opted in with `--threads`.  The produced graph is identical
+    /// either way (see [`Udg::with_radius_pooled`]).
+    ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive and finite, or if any
     /// point has non-finite coordinates.
     pub fn with_radius(points: Vec<Point>, radius: f64) -> Self {
+        let pool = mcds_pool::global::pool();
+        Udg::with_radius_pooled(points, radius, &pool)
+    }
+
+    /// Builds the disk graph with communication radius `radius`, running
+    /// the edge pass on `pool`.
+    ///
+    /// Points are hashed into a uniform grid of cell side `radius`, so
+    /// each node tests only the 3×3 block of cells around it — expected
+    /// `O(n + m)` instead of the naive `Θ(n²)`.  When `pool` is wider
+    /// than one thread and the instance is large enough to amortize the
+    /// fan-out, node ranges are scanned concurrently; each range reports
+    /// only its *forward* pairs `(i, j), i < j`, and ranges are collected
+    /// in index order, so the edge set — and therefore the normalized
+    /// [`Graph`] — is identical to the sequential build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite, or if any
+    /// point has non-finite coordinates.
+    pub fn with_radius_pooled(points: Vec<Point>, radius: f64, pool: &ThreadPool) -> Self {
         assert!(
             radius.is_finite() && radius > 0.0,
             "communication radius must be positive and finite, got {radius}"
@@ -47,7 +79,14 @@ impl Udg {
             Graph::empty(0)
         } else {
             let index = GridIndex::build(&points, radius);
-            Graph::from_edges(points.len(), index.close_pairs(radius))
+            if pool.threads() > 1 && points.len() >= PARALLEL_BUILD_THRESHOLD {
+                Graph::from_edges(
+                    points.len(),
+                    parallel_close_pairs(&points, &index, radius, pool),
+                )
+            } else {
+                Graph::from_edges(points.len(), index.close_pairs(radius))
+            }
         };
         Udg {
             points,
@@ -119,6 +158,44 @@ impl Udg {
     pub fn into_points(self) -> Vec<Point> {
         self.points
     }
+}
+
+/// The disk-graph edge set via concurrent scans of node ranges.
+///
+/// Every node `i` queries its 3×3 grid neighborhood and keeps the forward
+/// pairs `(i, j), i < j`, so each edge is reported exactly once and no
+/// cross-range coordination is needed.  `parallel_map` returns the ranges
+/// in index order, making the concatenated edge list a pure function of
+/// the input — independent of thread count and scheduling.
+fn parallel_close_pairs(
+    points: &[Point],
+    index: &GridIndex,
+    radius: f64,
+    pool: &ThreadPool,
+) -> Vec<(usize, usize)> {
+    // ~4 ranges per worker so stolen ranges rebalance skewed densities.
+    let chunk = points
+        .len()
+        .div_ceil(pool.threads() * 4)
+        .max(PARALLEL_BUILD_THRESHOLD / 8);
+    let ranges: Vec<std::ops::Range<usize>> = (0..points.len())
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(points.len()))
+        .collect();
+    pool.parallel_map(ranges, |_, range| {
+        let mut pairs = Vec::new();
+        for i in range {
+            index.for_each_within(points[i], radius, |j| {
+                if j > i {
+                    pairs.push((i, j));
+                }
+            });
+        }
+        pairs
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 impl fmt::Debug for Udg {

@@ -1,0 +1,138 @@
+//! Grid-bucketed UDG construction must agree exactly with the naive
+//! `Θ(n²)` reference, and the pooled parallel bucket pass must agree
+//! exactly with the sequential one — on every deployment family the
+//! experiments use.
+//!
+//! These are the load-bearing guarantees behind `Udg::build`: the grid
+//! index is a pure accelerator (no geometric approximation), and the
+//! worker pool is pure wall-clock (the determinism contract of
+//! `mcds-pool`).
+
+use mcds_geom::Point;
+use mcds_pool::ThreadPool;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::{Rng, SeedableRng};
+use mcds_udg::{gen, Udg};
+
+/// One seeded point set per (family, seed) pair.
+fn family_points(family: &str, seed: u64, n: usize, side: f64) -> Vec<Point> {
+    let mut rng = StdRng::from_stream(seed, 0x9d5);
+    match family {
+        "uniform" => gen::uniform_in_square(&mut rng, n, side),
+        "clustered" => {
+            let clusters = (n / 15).max(2);
+            gen::clustered(&mut rng, clusters, n / clusters, side, 0.8)
+        }
+        "corridor" => gen::corridor(&mut rng, n, 4.0 * side, side / 3.0),
+        "annulus" => gen::uniform_in_annulus(&mut rng, n, Point::new(0.0, 0.0), side / 3.0, side),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+const FAMILIES: [&str; 4] = ["uniform", "clustered", "corridor", "annulus"];
+
+/// Grid-bucketed construction equals the naive all-pairs reference on
+/// ≥200 seeded instances across all four deployment families, at several
+/// sizes and radii (including radii near the instance scale, which
+/// stress the 3×3-block boundary cases).
+#[test]
+fn grid_equals_naive_on_200_instances() {
+    let mut checked = 0usize;
+    for &family in &FAMILIES {
+        for seed in 0..50u64 {
+            // Vary size and radius with the seed so the sweep covers
+            // sparse, dense, and near-degenerate cells.
+            let n = 30 + (seed as usize % 5) * 25; // 30..130
+            let side = 3.0 + (seed % 4) as f64; // 3..6
+            let radius = [0.6, 1.0, 1.7][seed as usize % 3];
+            let pts = family_points(family, seed, n, side);
+            let grid = Udg::with_radius(pts.clone(), radius);
+            let naive = Udg::build_naive(pts, radius);
+            assert_eq!(
+                grid.graph(),
+                naive.graph(),
+                "family {family}, seed {seed}, n {n}, radius {radius}: \
+                 grid and naive graphs differ"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "only {checked} instances checked");
+}
+
+/// The pooled bucket pass produces a bit-identical graph at any pool
+/// width, including above the parallel-build threshold where the fan-out
+/// actually engages.
+#[test]
+fn pooled_build_equals_sequential() {
+    let seq = ThreadPool::new(1);
+    let four = ThreadPool::new(4);
+    // Small instances (below the threshold: exercises the inline path).
+    for &family in &FAMILIES {
+        let pts = family_points(family, 99, 120, 5.0);
+        let a = Udg::with_radius_pooled(pts.clone(), 1.0, &seq);
+        let b = Udg::with_radius_pooled(pts, 1.0, &four);
+        assert_eq!(a.graph(), b.graph(), "family {family}");
+    }
+    // A large instance (above the threshold: exercises the parallel
+    // range scan and index-ordered collection).
+    let mut rng = StdRng::seed_from_u64(4242);
+    let pts = gen::uniform_in_square(&mut rng, 5000, 25.0);
+    let a = Udg::with_radius_pooled(pts.clone(), 1.0, &seq);
+    let b = Udg::with_radius_pooled(pts, 1.0, &four);
+    assert_eq!(a.graph(), b.graph());
+    assert!(a.graph().num_edges() > 0, "degenerate instance");
+}
+
+/// Radius boundary: points exactly at distance `radius` must be adjacent
+/// in both constructions (the naive reference uses an epsilon-padded
+/// comparison; the grid path must match it).
+#[test]
+fn boundary_distances_agree() {
+    let mut pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..60 {
+        pts.push(Point::new(
+            rng.gen_range(-1.5..=2.5),
+            rng.gen_range(-1.5..=1.5),
+        ));
+    }
+    let grid = Udg::with_radius(pts.clone(), 1.0);
+    let naive = Udg::build_naive(pts, 1.0);
+    assert_eq!(grid.graph(), naive.graph());
+    assert!(grid.graph().has_edge(0, 1), "exact-radius pair must touch");
+}
+
+/// Smoke check that the grid build actually beats the naive build by a
+/// wide margin at scale.  Wall-clock dependent, so ignored by default;
+/// CI runs it in release via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "wall-clock comparison; run in release"]
+fn grid_beats_naive_5x_at_10k() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts = gen::uniform_in_square(&mut rng, 10_000, 35.0);
+
+    // Warm-up + correctness on the same input.
+    let grid_udg = Udg::with_radius(pts.clone(), 1.0);
+    let naive_udg = Udg::build_naive(pts.clone(), 1.0);
+    assert_eq!(grid_udg.graph(), naive_udg.graph());
+
+    let reps = 3;
+    let t_grid = std::time::Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(Udg::with_radius(pts.clone(), 1.0));
+    }
+    let grid = t_grid.elapsed();
+    let t_naive = std::time::Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(Udg::build_naive(pts.clone(), 1.0));
+    }
+    let naive = t_naive.elapsed();
+    let speedup = naive.as_secs_f64() / grid.as_secs_f64().max(1e-9);
+    eprintln!("n=10000: grid {grid:?}, naive {naive:?}, speedup {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "grid build should beat naive by >=5x at n=10k, got {speedup:.1}x \
+         (grid {grid:?}, naive {naive:?})"
+    );
+}

@@ -30,4 +30,23 @@ if [[ -z "$no_clippy" ]]; then
   cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+echo "== pool determinism: sweep + exp_compare CSVs at --threads 1 vs 4 =="
+det_dir=$(mktemp -d)
+trap 'rm -rf "$det_dir"' EXIT
+cargo run --quiet --release -p mcds-cli -- sweep --n 60 --side 4.5 --trials 5 \
+  --seed 11 --threads 1 --out "$det_dir/sweep_t1.csv" > /dev/null
+cargo run --quiet --release -p mcds-cli -- sweep --n 60 --side 4.5 --trials 5 \
+  --seed 11 --threads 4 --out "$det_dir/sweep_t4.csv" > /dev/null
+diff "$det_dir/sweep_t1.csv" "$det_dir/sweep_t4.csv"
+cargo run --quiet --release -p mcds-bench --bin exp_compare -- --quick \
+  --threads 1 --out "$det_dir/t1" > /dev/null
+cargo run --quiet --release -p mcds-bench --bin exp_compare -- --quick \
+  --threads 4 --out "$det_dir/t4" > /dev/null
+diff "$det_dir/t1/exp_compare.csv" "$det_dir/t4/exp_compare.csv"
+echo "CSVs byte-identical at both widths"
+
+echo "== grid vs naive speedup smoke (n=10k, release) =="
+cargo test --quiet --release -p mcds-udg --test grid_equivalence -- \
+  --ignored grid_beats_naive_5x_at_10k
+
 echo "verify: all checks passed"
