@@ -117,7 +117,7 @@ fn main() {
                 }
                 Err(why) => {
                     violations += 1;
-                    eprintln!("VIOLATION (n={}, side={}): {why}", cell.n, cell.side);
+                    mcds_obs::warn!("VIOLATION (n={}, side={}): {why}", cell.n, cell.side);
                 }
             }
         }

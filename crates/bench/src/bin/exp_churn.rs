@@ -244,8 +244,8 @@ fn to_json(n: usize, side: f64, events: usize, runs: &[Run]) -> String {
             m.mean_touched(),
             m.mean_ratio(),
             m.ratio_max,
-            m.mean_wall().as_secs_f64() * 1e6,
-            m.wall_max.as_secs_f64() * 1e6,
+            m.mean_wall_us(),
+            m.max_wall_us(),
             run.final_population,
             if i + 1 == runs.len() { "" } else { "," }
         ));

@@ -43,6 +43,10 @@ pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
     let mut dsu = subsets::components_dsu(g, &mask);
     let mut q = subsets::count_components(g, &mask);
     let mut connectors = Vec::new();
+    // Accumulated locally and flushed once: the scan below is the hot
+    // loop, and per-candidate counter updates would distort what the
+    // counter is meant to profile.
+    let mut scanned: u64 = 0;
 
     while q > 1 {
         // Find the node with the largest number of distinct adjacent
@@ -52,6 +56,7 @@ pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
             if mask[w] {
                 continue;
             }
+            scanned += 1;
             let adj = subsets::adjacent_components(g, &mask, &mut dsu, w);
             if adj.len() >= 2 {
                 match best {
@@ -76,6 +81,8 @@ pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
         connectors.push(w);
         debug_assert_eq!(q, subsets::count_components(g, &mask));
     }
+    mcds_obs::counter!("connectors.candidates_scanned", scanned);
+    mcds_obs::counter!("connectors.selected", connectors.len() as u64);
     Ok(connectors)
 }
 
@@ -101,12 +108,14 @@ pub fn max_gain_then_paths(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
     let mut dsu = subsets::components_dsu(g, &mask);
     let mut q = subsets::count_components(g, &mask);
     let mut connectors = Vec::new();
+    let mut scanned: u64 = 0;
     while q > 1 {
         let mut best: Option<(usize, usize)> = None;
         for w in 0..g.num_nodes() {
             if mask[w] {
                 continue;
             }
+            scanned += 1;
             let adj = subsets::adjacent_components(g, &mask, &mut dsu, w);
             if adj.len() >= 2 {
                 match best {
@@ -127,11 +136,13 @@ pub fn max_gain_then_paths(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
         q = q + 1 - count;
         connectors.push(w);
     }
+    mcds_obs::counter!("connectors.candidates_scanned", scanned);
     if q > 1 {
         let mut grown: Vec<usize> = seed.to_vec();
         grown.extend(connectors.iter().copied());
         connectors.extend(path_connectors(g, &grown)?);
     }
+    mcds_obs::counter!("connectors.selected", connectors.len() as u64);
     Ok(connectors)
 }
 

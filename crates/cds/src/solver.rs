@@ -173,28 +173,36 @@ impl Solver {
             }
         }
         let root = self.root.unwrap_or(0);
+        let _solve_span = mcds_obs::span("solve");
         let mut watch = Stopwatch::new(self.timings);
         let mut timings = PhaseTimings::default();
 
         let (dominators, connectors) = match self.algorithm {
             Algorithm::WafTree => {
+                let p1 = mcds_obs::span("solve.phase1");
                 let phase1 = BfsMis::compute(g, root);
                 if !phase1.tree().spans(g) {
                     return Err(CdsError::DisconnectedGraph);
                 }
                 let mis = phase1.mis().to_vec();
+                drop(p1);
                 timings.phase1 = watch.lap();
+                let p2 = mcds_obs::span("solve.phase2");
                 let connectors = waf::waf_connectors(g, &phase1, root);
+                drop(p2);
                 timings.phase2 = watch.lap();
                 (mis, connectors)
             }
             Algorithm::GreedyConnect => {
+                let p1 = mcds_obs::span("solve.phase1");
                 let phase1 = BfsMis::compute(g, root);
                 if !phase1.tree().spans(g) {
                     return Err(CdsError::DisconnectedGraph);
                 }
                 let mis = phase1.mis().to_vec();
+                drop(p1);
                 timings.phase1 = watch.lap();
+                let p2 = mcds_obs::span("solve.phase2");
                 let connectors = connect::max_gain_connectors(g, &mis).map_err(|e| match e {
                     // An MIS of a connected graph can never stall
                     // (Lemma 9); surface any other error as-is.
@@ -203,56 +211,83 @@ impl Solver {
                     }
                     other => other,
                 })?;
+                drop(p2);
                 timings.phase2 = watch.lap();
                 (mis, connectors)
             }
             Algorithm::ChvatalSetCover => {
+                // The connectivity BFS is real work on large graphs;
+                // span it so trace coverage accounts for it.
+                let pre = mcds_obs::span("solve.precheck");
                 if !g.is_connected() {
                     return Err(CdsError::DisconnectedGraph);
                 }
+                drop(pre);
+                let p1 = mcds_obs::span("solve.phase1");
                 let ds = setcover::chvatal_dominating_set(g);
+                drop(p1);
                 timings.phase1 = watch.lap();
+                let p2 = mcds_obs::span("solve.phase2");
                 let connectors = connect::path_connectors(g, &ds)?;
+                drop(p2);
                 timings.phase2 = watch.lap();
                 (ds, connectors)
             }
             Algorithm::ArbitraryMis => {
+                let pre = mcds_obs::span("solve.precheck");
                 if !g.is_connected() {
                     return Err(CdsError::DisconnectedGraph);
                 }
+                drop(pre);
+                let p1 = mcds_obs::span("solve.phase1");
                 let mis = variants::lexicographic_mis(g);
+                drop(p1);
                 timings.phase1 = watch.lap();
+                let p2 = mcds_obs::span("solve.phase2");
                 let connectors = connect::max_gain_then_paths(g, &mis)?;
+                drop(p2);
                 timings.phase2 = watch.lap();
                 (mis, connectors)
             }
             Algorithm::GreedyGrowth => {
+                let pre = mcds_obs::span("solve.precheck");
                 if !g.is_connected() {
                     return Err(CdsError::DisconnectedGraph);
                 }
+                drop(pre);
                 // Single-phase: the whole grown set counts as phase 1.
+                let p1 = mcds_obs::span("solve.phase1");
                 let set = growth::grow(g);
+                drop(p1);
                 timings.phase1 = watch.lap();
                 (set, Vec::new())
             }
         };
+        mcds_obs::counter!("solve.runs");
+        mcds_obs::counter!("solve.dominators", dominators.len() as u64);
+        mcds_obs::counter!("solve.connectors", connectors.len() as u64);
 
         let mut cds = Cds::new(dominators, connectors);
         if self.verify {
+            let v = mcds_obs::span("solve.verify");
             cds.verify(g)?;
+            drop(v);
             timings.verify = watch.lap();
         }
         let mut pruned_from = None;
         if self.prune {
+            let p = mcds_obs::span("solve.prune");
             let kept = prune::prune_cds(g, cds.nodes())?;
             if kept.len() < cds.len() {
                 pruned_from = Some(cds.len());
+                mcds_obs::counter!("prune.removed", (cds.len() - kept.len()) as u64);
                 let keep = |v: &&usize| kept.binary_search(v).is_ok();
                 cds = Cds::new(
                     cds.dominators().iter().filter(keep).copied().collect(),
                     cds.connectors().iter().filter(keep).copied().collect(),
                 );
             }
+            drop(p);
             timings.prune = watch.lap();
         }
 

@@ -641,6 +641,92 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `trace`: inspect a JSONL trace produced by the global `--trace` flag.
+///
+/// * `trace check FILE` — validate every line against the `mcds-obs`
+///   schema (the checker `scripts/verify.sh` runs in CI).
+/// * `trace summarize FILE` — aggregate span records by nesting path and
+///   print the per-span wall-time breakdown.
+pub fn trace(argv: &[String]) -> Result<(), CliError> {
+    let verb = argv
+        .first()
+        .ok_or_else(|| CliError::Usage("trace needs summarize|check FILE.jsonl".into()))?;
+    let path = argv
+        .get(1)
+        .ok_or_else(|| CliError::Usage(format!("trace {verb} needs a FILE.jsonl")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    let stats = mcds_obs::schema::validate_trace(&text)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    match verb.as_str() {
+        "check" => {
+            println!(
+                "{path}: valid trace ({} spans, {} logs, {} counters, {} gauges, {} hists)",
+                stats.spans, stats.logs, stats.counters, stats.gauges, stats.hists
+            );
+            Ok(())
+        }
+        "summarize" => {
+            let (spans, root_ns) = mcds_obs::schema::summarize_spans(&text)
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            if spans.is_empty() {
+                println!("{path}: no span records (was the traced run instrumented?)");
+                return Ok(());
+            }
+            let mut table =
+                mcds_bench::Table::new(&["span", "count", "total ms", "mean µs", "share"]);
+            let label_width = spans
+                .iter()
+                .map(|s| 2 * s.depth + last_segment(&s.path).len())
+                .max()
+                .unwrap_or(0);
+            for s in &spans {
+                let label = format!(
+                    "{:<label_width$}",
+                    format!("{}{}", "  ".repeat(s.depth), last_segment(&s.path))
+                );
+                let share = if root_ns == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * s.total_ns as f64 / root_ns as f64)
+                };
+                table.row(&[
+                    label,
+                    s.count.to_string(),
+                    format!("{:.3}", s.total_ns as f64 / 1e6),
+                    format!("{:.1}", s.total_ns as f64 / 1e3 / s.count as f64),
+                    share,
+                ]);
+            }
+            // Left-align the span column by padding labels to equal width
+            // before the table right-aligns them.
+            println!("{path}: span breakdown (share = of root-span wall time)");
+            table.print();
+            let child_ns: u64 = spans
+                .iter()
+                .filter(|s| s.depth == 1)
+                .map(|s| s.total_ns)
+                .sum();
+            if root_ns > 0 {
+                println!(
+                    "root spans total {:.3} ms; depth-1 children cover {:.1}%",
+                    root_ns as f64 / 1e6,
+                    100.0 * child_ns as f64 / root_ns as f64
+                );
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown trace verb `{other}` (want summarize|check)"
+        ))),
+    }
+}
+
+/// The final `/`-separated segment of a span path.
+fn last_segment(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
 fn print_report(r: &mcds_maintain::RepairReport) {
     println!(
         "event {:>4}  {:<28} alive {:>4}  cds {:>3} ({:.2}x)  touched {:>3}  {}",

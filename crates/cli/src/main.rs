@@ -13,7 +13,12 @@
 //! mcds-cli dist   inst.udg
 //! mcds-cli construct chain --n 8 -o chain.udg
 //! mcds-cli churn  --n 100 --events 200 [--waypoint]
+//! mcds-cli trace  summarize out.jsonl
 //! ```
+//!
+//! Global flags (any subcommand): `--trace FILE.jsonl` records a
+//! structured trace of the run (spans, counters, logs; see `mcds-obs`),
+//! `--quiet` silences stderr diagnostics.
 //!
 //! Exit codes: 0 success, 1 usage error, 2 runtime failure (bad instance,
 //! disconnected graph, exhausted budget, invalid CDS).
@@ -41,19 +46,69 @@ fn main() -> ExitCode {
         default_hook(info);
     }));
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(&argv) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags, valid in any position with any subcommand; stripped
+    // here so subcommand parsers never see them.
+    let trace_path = match take_value_flag(&mut argv, "--trace") {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    if take_switch(&mut argv, "--quiet") {
+        mcds_obs::log::set_stderr_level(mcds_obs::log::Level::Silent);
+    }
+    if trace_path.is_some() {
+        mcds_obs::enable();
+    }
+
+    let code = match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}\n");
-            eprintln!("{}", USAGE);
+            mcds_obs::error!("{msg}");
+            mcds_obs::log::plain(mcds_obs::log::Level::Error, USAGE);
             ExitCode::from(1)
         }
         Err(CliError::Runtime(msg)) => {
-            eprintln!("error: {msg}");
+            mcds_obs::error!("{msg}");
             ExitCode::from(2)
         }
+    };
+    if let Some(path) = trace_path {
+        match mcds_obs::trace::flush_to_path(&path) {
+            Ok(()) => {
+                mcds_obs::log::plain(mcds_obs::log::Level::Info, &format!("wrote trace {path}"))
+            }
+            Err(e) => {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
+    code
+}
+
+/// Removes every occurrence of the switch `flag` from `argv`, reporting
+/// whether any was present.
+fn take_switch(argv: &mut Vec<String>, flag: &str) -> bool {
+    let before = argv.len();
+    argv.retain(|a| a != flag);
+    argv.len() != before
+}
+
+/// Removes `flag <value>` from `argv`, returning the value (the last one
+/// wins if repeated).
+fn take_value_flag(argv: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut found = None;
+    while let Some(i) = argv.iter().position(|a| a == flag) {
+        if i + 1 >= argv.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        found = Some(argv.remove(i + 1));
+        argv.remove(i);
+    }
+    Ok(found)
 }
 
 const USAGE: &str = "\
@@ -74,7 +129,12 @@ usage:
   mcds-cli broadcast FILE [--source S] [--alg NAME]
   mcds-cli churn  [--n N] [--side S] [--seed SEED] [--events E] [--drift F]
                   [--p-join P] [--p-leave P] [--move-radius R] [--threads T] [--verbose]
-                  [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]";
+                  [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]
+  mcds-cli trace  summarize|check FILE.jsonl
+
+global flags (any subcommand):
+  --trace FILE.jsonl   record spans/counters/logs and write the trace on exit
+  --quiet              silence stderr diagnostics";
 
 /// CLI error split by exit code.
 #[derive(Debug)]
@@ -109,6 +169,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "route" => commands::route(rest),
         "broadcast" => commands::broadcast(rest),
         "churn" => commands::churn(rest),
+        "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

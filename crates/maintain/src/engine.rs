@@ -313,6 +313,8 @@ impl Maintainer {
     /// Panics if a `Leave`/`Move` references a dead node, or a position is
     /// non-finite.
     pub fn apply(&mut self, event: TopologyEvent) -> RepairReport {
+        let _apply_span = mcds_obs::span("maintain.apply");
+        mcds_obs::counter!("maintain.events");
         let started = Instant::now();
         let prev_backbone = self.backbone();
         let seq = self.events_applied;
@@ -328,6 +330,7 @@ impl Maintainer {
             // valid for the empty graph.
             self.dominators.clear();
             self.connectors.clear();
+            mcds_obs::counter!("maintain.recomputed");
             return RepairReport {
                 seq,
                 event,
@@ -382,6 +385,13 @@ impl Maintainer {
         };
         if let RepairDecision::Recomputed(_) = decision {
             self.adopt_fresh(&snap);
+        }
+        match decision {
+            RepairDecision::Repaired => {
+                mcds_obs::counter!("maintain.repaired");
+                mcds_obs::observe("maintain.damage_region", nodes_touched as u64);
+            }
+            RepairDecision::Recomputed(_) => mcds_obs::counter!("maintain.recomputed"),
         }
 
         // 4. Always verify the maintained set against the snapshot.

@@ -1,0 +1,323 @@
+//! The global metric registry: named counters, gauges and log2-bucketed
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! shared atomics, so hot paths can resolve a name once per region and
+//! then update lock-free.  The name → handle map itself is guarded by a
+//! mutex, touched only at registration time.
+//!
+//! Everything here is *always* collectable — the [`crate::enabled`] gate
+//! belongs to the instrumentation macros and call sites, not to the
+//! primitives, so tests and exporters can drive the registry directly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets.  Bucket `0` holds the value `0`; bucket
+/// `b ≥ 1` holds values in `[2^(b−1), 2^b − 1]`; the last bucket absorbs
+/// everything from `2^(BUCKETS−2)` up.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistInner {
+    // Not derivable: `Default` for arrays stops at 32 elements.
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (durations are recorded as
+/// nanoseconds; see [`Histogram::observe_duration`]).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+/// The bucket index a value lands in: `0` for `0`, otherwise
+/// `floor(log2(v)) + 1`, clamped to the last bucket.
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `b` (the last bucket's
+/// `hi` is `u64::MAX`).
+pub fn bucket_range(b: usize) -> (u64, u64) {
+    match b {
+        0 => (0, 0),
+        _ if b >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        _ => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        let h = &self.0;
+        h.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 before any sample).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+}
+
+/// The process-wide name → metric maps.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        // A panic while holding one of these maps cannot leave the data
+        // inconsistent (all updates are single insertions), so poisoning
+        // is safe to shrug off — observability must not compound a crash.
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        Self::lock(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        Self::lock(&self.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Histogram {
+        Self::lock(&self.histograms)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        Self::lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value()))
+            .collect()
+    }
+
+    pub(crate) fn gauge_snapshot(&self) -> Vec<(String, i64)> {
+        Self::lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value()))
+            .collect()
+    }
+
+    pub(crate) fn histogram_snapshot(&self) -> Vec<(String, Histogram)> {
+        Self::lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    pub(crate) fn clear(&self) {
+        Self::lock(&self.counters).clear();
+        Self::lock(&self.gauges).clear();
+        Self::lock(&self.histograms).clear();
+    }
+}
+
+/// Fetches (registering on first use) the counter called `name`.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Fetches (registering on first use) the gauge called `name`.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Fetches (registering on first use) the histogram called `name`.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// Adds `delta` to counter `name` — but only when the subscriber is
+/// enabled; the disabled path is one relaxed atomic load.
+///
+/// Call sites in hot loops should accumulate locally and flush once, or
+/// hold a [`Counter`] handle.
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::enabled() {
+        counter(name).add(delta);
+    }
+}
+
+/// Sets gauge `name` when the subscriber is enabled (no-op otherwise).
+pub fn gauge_set(name: &str, value: i64) {
+    if crate::enabled() {
+        gauge(name).set(value);
+    }
+}
+
+/// Records a sample into histogram `name` when the subscriber is enabled
+/// (no-op otherwise).
+pub fn observe(name: &str, value: u64) {
+    if crate::enabled() {
+        histogram(name).observe(value);
+    }
+}
+
+/// Records a duration (as nanoseconds) into histogram `name` when the
+/// subscriber is enabled (no-op otherwise).
+pub fn observe_duration(name: &str, d: std::time::Duration) {
+    if crate::enabled() {
+        histogram(name).observe_duration(d);
+    }
+}
+
+/// The current value of counter `name` (0 if never registered).
+pub fn counter_value(name: &str) -> u64 {
+    counter(name).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every bucket's range round-trips through bucket_index.
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_range(b);
+            assert_eq!(bucket_index(lo), b, "lo of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "hi of bucket {b}");
+        }
+        // Ranges tile the u64 line without gaps.
+        for b in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_range(b);
+            let (lo_next, _) = bucket_range(b + 1);
+            assert_eq!(hi + 1, lo_next, "gap after bucket {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_accumulates_and_tracks_max() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.nonzero_buckets();
+        // 0 → b0; 1,1 → b1; 5 → b3; 1000 → b10.
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let a = counter("test.registry.shared");
+        let b = counter("test.registry.shared");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.value(), 7);
+        let g = gauge("test.registry.gauge");
+        g.set(-9);
+        assert_eq!(gauge("test.registry.gauge").value(), -9);
+    }
+}

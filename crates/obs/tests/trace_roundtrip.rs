@@ -1,0 +1,72 @@
+//! End-to-end: record real spans/counters/logs, export JSONL, and check
+//! the emitted text against the in-tree schema validator and summarizer.
+
+#[test]
+fn emitted_trace_round_trips_through_the_schema_validator() {
+    mcds_obs::test_support::with_enabled(true, || {
+        mcds_obs::reset();
+        {
+            let _root = mcds_obs::span("rt.solve");
+            {
+                let _p1 = mcds_obs::span("rt.phase1");
+                mcds_obs::counter!("rt.mis.selected", 12);
+            }
+            {
+                let _p2 = mcds_obs::span("rt.phase2");
+                mcds_obs::counter!("rt.connectors.scanned", 345);
+            }
+            mcds_obs::observe("rt.damage", 3);
+            mcds_obs::gauge_set("rt.queue_depth", 2);
+            let prev = mcds_obs::log::stderr_level();
+            mcds_obs::log::set_stderr_level(mcds_obs::log::Level::Silent);
+            mcds_obs::warn!("round-trip \"quoted\" message");
+            mcds_obs::log::set_stderr_level(prev);
+        }
+        let text = mcds_obs::trace::drain_jsonl();
+
+        let stats = mcds_obs::schema::validate_trace(&text).expect("trace must be schema-valid");
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.logs, 1);
+        assert_eq!(stats.counters, 2);
+        assert_eq!(stats.gauges, 1);
+        // rt.damage plus one span.* histogram per distinct span name.
+        assert_eq!(stats.hists, 4);
+
+        let (summary, root_ns) = mcds_obs::schema::summarize_spans(&text).unwrap();
+        let paths: Vec<&str> = summary.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["rt.solve", "rt.solve/rt.phase1", "rt.solve/rt.phase2"]
+        );
+        // Children are nested inside the root span, so the root's wall
+        // time bounds theirs from above.
+        let child_ns: u64 = summary[1..].iter().map(|s| s.total_ns).sum();
+        assert!(root_ns >= child_ns);
+
+        // Draining cleared the event buffer but kept the registry.
+        let again = mcds_obs::trace::drain_jsonl();
+        let stats2 = mcds_obs::schema::validate_trace(&again).unwrap();
+        assert_eq!(stats2.spans, 0);
+        assert_eq!(stats2.counters, 2);
+
+        mcds_obs::reset();
+    });
+}
+
+#[test]
+fn flush_to_path_writes_a_valid_file() {
+    mcds_obs::test_support::with_enabled(true, || {
+        mcds_obs::reset();
+        {
+            let _s = mcds_obs::span("rt.file");
+        }
+        let path = std::env::temp_dir().join("mcds_obs_rt_trace.jsonl");
+        let path = path.to_str().unwrap();
+        mcds_obs::trace::flush_to_path(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let stats = mcds_obs::schema::validate_trace(&text).unwrap();
+        assert_eq!(stats.spans, 1);
+        std::fs::remove_file(path).ok();
+        mcds_obs::reset();
+    });
+}

@@ -225,8 +225,13 @@ impl<'env> PoolScope<'_, 'env> {
     /// steal.  On a one-thread pool the job runs immediately, inline.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
         if self.inline {
+            let start = mcds_obs::enabled().then(std::time::Instant::now);
             if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
                 self.shared.record_panic(payload);
+            }
+            if let Some(start) = start {
+                mcds_obs::counter!("pool.jobs_spawned");
+                mcds_obs::observe_duration("pool.task_ns", start.elapsed());
             }
             return;
         }
@@ -290,11 +295,14 @@ impl<'env> Shared<'env> {
     }
 
     fn push(&self, target: usize, job: Job<'env>) {
-        {
+        let depth = {
             let mut st = self.state.lock().expect("pool state poisoned");
             st.pending += 1;
             st.unclaimed += 1;
-        }
+            st.unclaimed
+        };
+        mcds_obs::counter!("pool.jobs_spawned");
+        mcds_obs::gauge_set("pool.queue_depth", depth as i64);
         self.queues[target]
             .lock()
             .expect("pool queue poisoned")
@@ -315,8 +323,14 @@ impl<'env> Shared<'env> {
             };
             if let Some(job) = job {
                 drop(q);
+                if offset > 0 && mcds_obs::enabled() {
+                    // A claim from a sibling's deque is a steal.
+                    mcds_obs::counter("pool.steals").incr();
+                    mcds_obs::counter(&format!("pool.worker.{me}.steals")).incr();
+                }
                 let mut st = self.state.lock().expect("pool state poisoned");
                 st.unclaimed -= 1;
+                mcds_obs::gauge_set("pool.queue_depth", st.unclaimed as i64);
                 return Some(job);
             }
         }
@@ -326,8 +340,13 @@ impl<'env> Shared<'env> {
     fn worker_loop(&self, me: usize) {
         loop {
             if let Some(job) = self.grab(me) {
+                let start = mcds_obs::enabled().then(std::time::Instant::now);
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
                     self.record_panic(payload);
+                }
+                if let Some(start) = start {
+                    mcds_obs::observe_duration("pool.task_ns", start.elapsed());
+                    mcds_obs::counter(&format!("pool.worker.{me}.jobs")).incr();
                 }
                 let mut st = self.state.lock().expect("pool state poisoned");
                 st.pending -= 1;
@@ -493,6 +512,28 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn obs_counters_aggregate_across_workers() {
+        // Concurrent increments from real worker threads must never lose
+        // updates, and the pool's own instrumentation must fire.
+        mcds_obs::test_support::with_enabled(true, || {
+            let pool = ThreadPool::new(4);
+            let counter = mcds_obs::counter("test.pool.concurrent_increments");
+            let before = counter.value();
+            let spawned_before = mcds_obs::counter_value("pool.jobs_spawned");
+            let tasks_before = mcds_obs::histogram("pool.task_ns").count();
+            pool.scope(|scope| {
+                for _ in 0..256 {
+                    let counter = counter.clone();
+                    scope.spawn(move || counter.incr());
+                }
+            });
+            assert_eq!(counter.value() - before, 256);
+            assert!(mcds_obs::counter_value("pool.jobs_spawned") - spawned_before >= 256);
+            assert!(mcds_obs::histogram("pool.task_ns").count() - tasks_before >= 256);
+        });
     }
 
     #[test]

@@ -45,6 +45,23 @@ cargo run --quiet --release -p mcds-bench --bin exp_compare -- --quick \
 diff "$det_dir/t1/exp_compare.csv" "$det_dir/t4/exp_compare.csv"
 echo "CSVs byte-identical at both widths"
 
+echo "== tracing: schema-valid JSONL, identical solve output on vs off =="
+cargo run --quiet --release -p mcds-cli -- gen --n 200 --side 7.9 --seed 7 \
+  --connected -o "$det_dir/trace.udg" > /dev/null
+cargo run --quiet --release -p mcds-cli -- solve "$det_dir/trace.udg" \
+  --alg all --prune > "$det_dir/solve_plain.txt"
+cargo run --quiet --release -p mcds-cli -- solve "$det_dir/trace.udg" \
+  --alg all --prune --trace "$det_dir/trace.jsonl" --quiet > "$det_dir/solve_traced.txt"
+diff "$det_dir/solve_plain.txt" "$det_dir/solve_traced.txt"
+cargo run --quiet --release -p mcds-cli -- trace check "$det_dir/trace.jsonl"
+cargo run --quiet --release -p mcds-cli -- trace summarize "$det_dir/trace.jsonl" \
+  > "$det_dir/summary.txt"
+# The phase spans must account for >= 95% of root-span wall time.
+coverage=$(awk 'END { gsub(/%/, "", $NF); print $NF }' "$det_dir/summary.txt")
+awk -v c="$coverage" 'BEGIN { exit !(c >= 95.0) }' || {
+  echo "span coverage $coverage% < 95%" >&2; exit 1; }
+echo "solve output identical with tracing on; trace valid, coverage $coverage%"
+
 echo "== grid vs naive speedup smoke (n=10k, release) =="
 cargo test --quiet --release -p mcds-udg --test grid_equivalence -- \
   --ignored grid_beats_naive_5x_at_10k

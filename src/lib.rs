@@ -27,6 +27,7 @@
 //! | [`distsim`] | `mcds-distsim` | synchronous protocol simulator, distributed WAF |
 //! | [`viz`] | `mcds-viz` | SVG rendering of instances, backbones and the paper's figures |
 //! | [`maintain`] | `mcds-maintain` | dynamic CDS maintenance under churn |
+//! | [`obs`] | `mcds-obs` | zero-dep tracing, counters/histograms, JSONL profiling |
 //! | [`rng`] | `mcds-rng` | zero-dependency seeded PRNG (hermetic builds) |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub use mcds_geom as geom;
 pub use mcds_graph as graph;
 pub use mcds_maintain as maintain;
 pub use mcds_mis as mis;
+pub use mcds_obs as obs;
 pub use mcds_rng as rng;
 pub use mcds_udg as udg;
 pub use mcds_viz as viz;
