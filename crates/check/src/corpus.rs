@@ -1,0 +1,207 @@
+//! The persisted regression corpus.
+//!
+//! A corpus entry is a tiny text file (`*.case`) recording the *seeds*
+//! of a failure, not the failing value itself: since generation is a
+//! pure function of `(master, stream)` (see [`crate::gen::Gen`]), the
+//! replay re-derives the identical input — and re-shrinks it to the
+//! identical counterexample — on any machine at any thread count.
+//!
+//! Format (`#` comments and blank lines ignored, `key = value` pairs):
+//!
+//! ```text
+//! # mcds-check regression case
+//! prop = differential_oracle
+//! master = 12648430
+//! stream = 7
+//! ```
+//!
+//! The [`crate::Property`] runner replays every case matching its
+//! property name *before* random exploration, so a previously found
+//! counterexample is re-checked first on every test run.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One regression case: a property name and the RNG stream that
+/// produced the failing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The property the case belongs to (matched against
+    /// [`crate::Property`] names on replay).
+    pub prop: String,
+    /// The master seed the failing run used.
+    pub master: u64,
+    /// The per-case stream index within that run.
+    pub stream: u64,
+}
+
+impl Case {
+    /// Renders the case in the `.case` file format.
+    pub fn to_file_format(&self) -> String {
+        format!(
+            "# mcds-check regression case\nprop = {}\nmaster = {}\nstream = {}\n",
+            self.prop, self.master, self.stream
+        )
+    }
+
+    /// Parses a `.case` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-annotated message on unknown keys, bad numbers, or
+    /// missing fields.
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut prop = None;
+        let mut master = None;
+        let mut stream = None;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", i + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "prop" => prop = Some(value.to_string()),
+                "master" => {
+                    master = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("line {}: bad master: {e}", i + 1))?,
+                    )
+                }
+                "stream" => {
+                    stream = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("line {}: bad stream: {e}", i + 1))?,
+                    )
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", i + 1)),
+            }
+        }
+        Ok(Case {
+            prop: prop.ok_or("missing `prop`")?,
+            master: master.ok_or("missing `master`")?,
+            stream: stream.ok_or("missing `stream`")?,
+        })
+    }
+}
+
+/// Loads every `*.case` file in `dir`, sorted by file name so replay
+/// order is stable across platforms.  A missing directory is an empty
+/// corpus, not an error; a malformed case file *is* an error (a corrupt
+/// corpus should fail loudly, not silently skip a regression).
+///
+/// # Errors
+///
+/// I/O errors other than "directory not found", and parse failures
+/// annotated with the offending path.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Case)>, String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let case = Case::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, case));
+    }
+    Ok(out)
+}
+
+/// Writes `case` into `dir` (created if missing) under a deterministic
+/// name derived from the property and seeds, returning the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_case(dir: &Path, case: &Case) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let safe: String = case
+        .prop
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!(
+        "{safe}-{:016x}-{:04}.case",
+        case.master, case.stream
+    ));
+    fs::write(&path, case.to_file_format())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_files_round_trip() {
+        let case = Case {
+            prop: "differential_oracle".into(),
+            master: 0xC0FFEE,
+            stream: 7,
+        };
+        let text = case.to_file_format();
+        assert_eq!(Case::parse(&text).unwrap(), case);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_cases() {
+        assert!(Case::parse("").is_err(), "missing fields");
+        assert!(Case::parse("prop = x\nmaster = 1\n").is_err(), "no stream");
+        assert!(
+            Case::parse("prop = x\nmaster = one\nstream = 2\n").is_err(),
+            "bad number"
+        );
+        assert!(
+            Case::parse("prop = x\nmaster = 1\nstream = 2\nwat = 3\n").is_err(),
+            "unknown key"
+        );
+        assert!(Case::parse("just words\n").is_err(), "no key-value shape");
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_whitespace() {
+        let case = Case::parse(
+            "# header\n\n  prop =  spaced name \n# mid comment\nmaster=3\n stream = 4 \n",
+        )
+        .unwrap();
+        assert_eq!(case.prop, "spaced name");
+        assert_eq!((case.master, case.stream), (3, 4));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_directory() {
+        let dir =
+            std::env::temp_dir().join(format!("mcds-check-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let case = Case {
+            prop: "p one".into(),
+            master: 5,
+            stream: 9,
+        };
+        let path = save_case(&dir, &case).unwrap();
+        assert!(path.to_string_lossy().ends_with(".case"));
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, case);
+        // Unknown extensions are ignored; missing directories are empty.
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        assert_eq!(load_dir(&dir).unwrap().len(), 1);
+        assert!(load_dir(Path::new("/nonexistent-mcds-corpus"))
+            .unwrap()
+            .is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

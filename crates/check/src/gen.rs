@@ -1,0 +1,575 @@
+//! Composable value generators with shrinking.
+//!
+//! A [`Gen`] produces a value from a seeded [`StdRng`] and, given a
+//! failing value, proposes *shrink candidates* — smaller or simpler
+//! variants the runner greedily descends through while the property
+//! still fails.  Generation is a pure function of the RNG stream, which
+//! is what makes corpus replay and `MCDS_CHECK_REPLAY` deterministic.
+//!
+//! The combinators mirror the subset of `proptest` the workspace used:
+//! integer and float ranges, vectors, tuples, strings, and — the
+//! workhorse of the UDG suites — quantized planar point sets.
+
+use std::fmt::Debug;
+use std::ops::RangeInclusive;
+
+use mcds_geom::Point;
+use mcds_rng::rngs::StdRng;
+use mcds_rng::Rng;
+
+/// A generator of values of one type, with optional shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from `rng`.  Must consume randomness *only* from
+    /// `rng` (no globals, no clock) so replay is exact.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes smaller/simpler variants of a failing `value`, most
+    /// aggressive first.  The runner keeps any candidate that still
+    /// fails and recurses; an empty vector ends shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    ///
+    /// The mapped generator cannot shrink (there is no inverse of `f` to
+    /// pull candidates back through); prefer a dedicated generator when
+    /// counterexample minimization matters.
+    fn map<U, F>(self, f: F) -> MapGen<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        MapGen { inner: self, f }
+    }
+}
+
+/// Uniform `usize` in an inclusive range; shrinks toward the low end.
+#[derive(Debug, Clone)]
+pub struct UsizeGen {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize` in `range` (shrinks toward `range.start()`).
+pub fn usizes(range: RangeInclusive<usize>) -> UsizeGen {
+    UsizeGen {
+        lo: *range.start(),
+        hi: *range.end(),
+    }
+}
+
+impl Gen for UsizeGen {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let v = *value;
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != self.lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `u64` in an inclusive range; shrinks toward the low end.
+#[derive(Debug, Clone)]
+pub struct U64Gen {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `range` (shrinks toward `range.start()`).
+pub fn u64s(range: RangeInclusive<u64>) -> U64Gen {
+    U64Gen {
+        lo: *range.start(),
+        hi: *range.end(),
+    }
+}
+
+impl Gen for U64Gen {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `f64` in an inclusive range; shrinks toward the low end.
+#[derive(Debug, Clone)]
+pub struct F64Gen {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `range` (shrinks toward `range.start()`).
+///
+/// # Panics
+///
+/// Panics unless `start ≤ end` and both are finite.
+pub fn f64s(range: RangeInclusive<f64>) -> F64Gen {
+    let (lo, hi) = (*range.start(), *range.end());
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "bad range {lo}..={hi}"
+    );
+    F64Gen { lo, hi }
+}
+
+impl Gen for F64Gen {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2.0;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// How many per-index shrink candidates a container proposes per round —
+/// bounds shrink fan-out on large values.
+const SHRINK_FAN: usize = 24;
+
+/// Vectors of values from an element generator.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+/// A vector whose length is uniform in `len` and whose elements come
+/// from `elem`.  Shrinks by truncating, dropping single elements, and
+/// shrinking elements in place.
+pub fn vecs<G: Gen>(elem: G, len: RangeInclusive<usize>) -> VecGen<G> {
+    VecGen {
+        elem,
+        min: *len.start(),
+        max: *len.end(),
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<G::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // 1. Truncate to the first half (the biggest jump first).
+        if len > self.min {
+            let half = (len / 2).max(self.min);
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            // 2. Drop single elements.
+            for i in (0..len).take(SHRINK_FAN) {
+                let mut smaller = value.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // 3. Shrink elements in place.
+        for i in (0..len).take(SHRINK_FAN) {
+            for cand in self.elem.shrink(&value[i]) {
+                let mut simpler = value.clone();
+                simpler[i] = cand;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Gen, B: Gen> Gen for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone(), value.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b, value.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(&value.2)
+                .into_iter()
+                .map(|c| (value.0.clone(), value.1.clone(), c)),
+        );
+        out
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen, D: Gen> Gen for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone(), value.2.clone(), value.3.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b, value.2.clone(), value.3.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(&value.2)
+                .into_iter()
+                .map(|c| (value.0.clone(), value.1.clone(), c, value.3.clone())),
+        );
+        out.extend(
+            self.3
+                .shrink(&value.3)
+                .into_iter()
+                .map(|d| (value.0.clone(), value.1.clone(), value.2.clone(), d)),
+        );
+        out
+    }
+}
+
+/// See [`Gen::map`].
+#[derive(Debug, Clone)]
+pub struct MapGen<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for MapGen<G, F>
+where
+    G: Gen,
+    U: Clone + Debug,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strings drawn from a parser-hostile character pool.
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    min: usize,
+    max: usize,
+}
+
+/// A string of `len` characters mixing printable ASCII, digits, signs,
+/// quotes, backslashes, whitespace, and a few multi-byte scalars — the
+/// pool that stresses hand-written parsers.  Shrinks by truncating and
+/// dropping characters.
+pub fn strings(len: RangeInclusive<usize>) -> StringGen {
+    StringGen {
+        min: *len.start(),
+        max: *len.end(),
+    }
+}
+
+/// The character pool of [`strings`].
+const STRING_POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '.', ',', ':', ';', '-', '+', 'e',
+    'E', 'x', 'y', '"', '\\', '/', '{', '}', '[', ']', '_', '#', 'é', '→', '\u{0}',
+];
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len)
+            .map(|_| STRING_POOL[rng.gen_range(0..STRING_POOL.len())])
+            .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let len = chars.len();
+        let mut out = Vec::new();
+        if len > self.min {
+            let half = (len / 2).max(self.min);
+            if half < len {
+                out.push(chars[..half].iter().collect());
+            }
+            for i in (0..len).take(SHRINK_FAN) {
+                let mut smaller = chars.clone();
+                smaller.remove(i);
+                out.push(smaller.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+/// Planar point sets quantized to a 1/1000 grid in a square.
+#[derive(Debug, Clone)]
+pub struct PointSetGen {
+    min: usize,
+    max: usize,
+    side: f64,
+}
+
+/// A set of `n ∈ len` points in the `side × side` square, quantized to a
+/// 1/1000 grid (the same quantization the original proptest suites used
+/// to avoid degenerate float edge cases, and which keeps counterexample
+/// printouts short).  Shrinks by truncating the set, dropping single
+/// points, and pulling points halfway toward the origin — all of which
+/// preserve quantization.
+pub fn point_sets(len: RangeInclusive<usize>, side: f64) -> PointSetGen {
+    assert!(side.is_finite() && side > 0.0, "bad side {side}");
+    PointSetGen {
+        min: *len.start(),
+        max: *len.end(),
+        side,
+    }
+}
+
+impl PointSetGen {
+    fn quantized(&self, ticks: u32) -> f64 {
+        f64::from(ticks) / 1000.0 * self.side
+    }
+}
+
+impl Gen for PointSetGen {
+    type Value = Vec<Point>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<Point> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len)
+            .map(|_| {
+                let x = rng.gen_range(0..=1000u64) as u32;
+                let y = rng.gen_range(0..=1000u64) as u32;
+                Point::new(self.quantized(x), self.quantized(y))
+            })
+            .collect()
+    }
+
+    fn shrink(&self, value: &Vec<Point>) -> Vec<Vec<Point>> {
+        let len = value.len();
+        let mut out = Vec::new();
+        if len > self.min {
+            let half = (len / 2).max(self.min);
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..len).take(SHRINK_FAN) {
+                let mut smaller = value.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Pull points halfway toward the origin, re-quantized.
+        let halve = |c: f64| (c / self.side * 1000.0 / 2.0).round() / 1000.0 * self.side;
+        for i in (0..len).take(SHRINK_FAN / 2) {
+            let p = value[i];
+            let pulled = Point::new(halve(p.x), halve(p.y));
+            if pulled != p {
+                let mut moved = value.clone();
+                moved[i] = pulled;
+                out.push(moved);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_rng::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generators_respect_their_ranges() {
+        let mut r = rng(1);
+        for _ in 0..2000 {
+            let v = usizes(3..=9).generate(&mut r);
+            assert!((3..=9).contains(&v));
+            let f = f64s(-1.5..=2.5).generate(&mut r);
+            assert!((-1.5..=2.5).contains(&f));
+            let xs = vecs(usizes(0..=5), 2..=4).generate(&mut r);
+            assert!((2..=4).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x <= 5));
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_stream() {
+        let g = vecs(usizes(0..=100), 0..=40);
+        let a = g.generate(&mut rng(7));
+        let b = g.generate(&mut rng(7));
+        assert_eq!(a, b);
+        assert_ne!(a, g.generate(&mut rng(8)));
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_low_end() {
+        let g = usizes(2..=100);
+        for cand in g.shrink(&57) {
+            assert!((2..57).contains(&cand), "candidate {cand}");
+        }
+        assert!(g.shrink(&2).is_empty(), "low end is a fixed point");
+    }
+
+    #[test]
+    fn vec_shrink_only_proposes_simpler_vectors() {
+        let g = vecs(usizes(0..=100), 1..=10);
+        let v = vec![40, 50, 60];
+        for cand in g.shrink(&v) {
+            let shorter = cand.len() < v.len();
+            let elementwise_smaller =
+                cand.len() == v.len() && cand.iter().zip(&v).all(|(c, o)| c <= o);
+            assert!(shorter || elementwise_smaller, "{cand:?} vs {v:?}");
+            assert!(!cand.is_empty(), "respects min length");
+        }
+    }
+
+    #[test]
+    fn point_sets_stay_in_square_and_quantized() {
+        let g = point_sets(1..=50, 4.0);
+        let pts = g.generate(&mut rng(3));
+        for p in &pts {
+            assert!((0.0..=4.0).contains(&p.x) && (0.0..=4.0).contains(&p.y));
+            let ticks = p.x / 4.0 * 1000.0;
+            assert!((ticks - ticks.round()).abs() < 1e-6, "unquantized {}", p.x);
+        }
+        for cand in g.shrink(&pts) {
+            assert!(!cand.is_empty() && cand.len() <= pts.len());
+        }
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let g = (usizes(0..=10), usizes(5..=20));
+        let cands = g.shrink(&(10, 20));
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            let first_moved = a < 10 && b == 20;
+            let second_moved = a == 10 && (5..20).contains(&b);
+            assert!(first_moved || second_moved, "({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn map_generates_but_does_not_shrink() {
+        let g = usizes(0..=9).map(|v| v * 2);
+        let v = g.generate(&mut rng(4));
+        assert!(v <= 18 && v % 2 == 0);
+        assert!(g.shrink(&v).is_empty());
+    }
+
+    #[test]
+    fn strings_cover_hostile_characters_and_shrink() {
+        let g = strings(0..=200);
+        let mut saw_quote = false;
+        let mut saw_backslash = false;
+        let mut r = rng(5);
+        for _ in 0..50 {
+            let s = g.generate(&mut r);
+            saw_quote |= s.contains('"');
+            saw_backslash |= s.contains('\\');
+            for cand in g.shrink(&s) {
+                assert!(cand.chars().count() < s.chars().count().max(1));
+            }
+        }
+        assert!(saw_quote && saw_backslash);
+    }
+}

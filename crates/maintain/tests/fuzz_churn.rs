@@ -1,0 +1,138 @@
+//! Pipeline fuzzing of the maintenance engine with `mcds-check`:
+//! random initial populations and churn parameter mixes, with the
+//! incremental repair checked against a full recompute after every
+//! event.
+//!
+//! This complements the fixed-seed streams in `tests/differential.rs`
+//! with *generated* populations and churn mixes that shrink to a
+//! minimal failing deployment when an invariant breaks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mcds_cds::{Algorithm, Solver};
+use mcds_check::gen::{point_sets, u64s, usizes};
+use mcds_check::{prop_assert, Property, TestResult};
+use mcds_geom::{Aabb, Point};
+use mcds_graph::{properties, traversal};
+use mcds_maintain::{ChurnConfig, ChurnGen, MaintainConfig, Maintainer, NodeId};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
+use mcds_udg::Udg;
+
+const SIDE: f64 = 5.0;
+
+/// Rebuilds the topology from the live population and checks the
+/// maintained backbone against a from-scratch greedy recompute.
+/// Returns an error message instead of panicking so the property
+/// shrinks the deployment on failure.
+fn audit(engine: &Maintainer, context: &str) -> Result<(), String> {
+    let alive = engine.alive();
+    if alive.is_empty() {
+        return if engine.backbone().is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{context}: backbone nonempty with no nodes alive"))
+        };
+    }
+    let ids: Vec<NodeId> = alive.iter().map(|&(id, _)| id).collect();
+    let pts: Vec<Point> = alive.iter().map(|&(_, p)| p).collect();
+    let udg = Udg::with_radius(pts, engine.config().radius);
+    let giant = traversal::largest_component(udg.graph());
+    let sub = udg.restricted_to(&giant);
+    let giant_ids: Vec<NodeId> = giant.iter().map(|&i| ids[i]).collect();
+    let backbone_local: Vec<usize> = engine
+        .backbone()
+        .iter()
+        .filter_map(|id| giant_ids.binary_search(id).ok())
+        .collect();
+    if !properties::is_connected_dominating_set(sub.graph(), &backbone_local) {
+        return Err(format!(
+            "{context}: maintained set is not a CDS of the giant component ({} nodes)",
+            giant.len()
+        ));
+    }
+    let fresh = Solver::new(Algorithm::GreedyConnect)
+        .solve(sub.graph())
+        .map_err(|e| format!("{context}: fresh recompute failed: {e}"))?
+        .len();
+    if backbone_local.len() > 2 * fresh {
+        return Err(format!(
+            "{context}: maintained size {} exceeds 2x the fresh recompute {}",
+            backbone_local.len(),
+            fresh
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn random_churn_streams_repair_to_valid_bounded_backbones() {
+    // (initial deployment, churn seed, event count, join%, leave%,
+    //  move radius in tenths) — churn probabilities sweep 0..=40% each
+    // and the move radius sweeps 0.1..=2.0, covering gentle drift
+    // through violent relocation.
+    let gen = (
+        point_sets(1..=40, SIDE),
+        u64s(0..=u64::MAX),
+        usizes(1..=25),
+        (usizes(0..=40), usizes(0..=40), usizes(1..=20)),
+    );
+    Property::new("random_churn_streams_repair_to_valid_bounded_backbones")
+        .cases(48)
+        .run(&gen, |(points, seed, events, knobs)| {
+            let (join_pct, leave_pct, radius_decis) = knobs;
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                let mut engine =
+                    Maintainer::with_population(MaintainConfig::default(), points.clone());
+                audit(&engine, "initial population")?;
+                let mut churn = ChurnGen::new(ChurnConfig {
+                    region: Aabb::square(SIDE),
+                    p_join: *join_pct as f64 / 100.0,
+                    p_leave: *leave_pct as f64 / 100.0,
+                    move_radius: *radius_decis as f64 / 10.0,
+                    min_population: 1,
+                });
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for step in 0..*events {
+                    let event = churn.next_event(&mut rng, &engine.alive());
+                    let report = engine.apply(event);
+                    if !report.valid {
+                        return Err(format!("event {step}: engine reported invalid"));
+                    }
+                    audit(&engine, &format!("event {step}"))?;
+                }
+                Ok(())
+            }));
+            match outcome {
+                Ok(Ok(())) => TestResult::Pass,
+                Ok(Err(msg)) => TestResult::Fail(msg),
+                Err(_) => TestResult::Fail("engine panicked under churn".into()),
+            }
+        });
+}
+
+#[test]
+fn repeated_moves_of_one_node_never_desync_the_backbone() {
+    // A single node teleporting around a fixed deployment is the
+    // harshest localized-repair case: the component repeatedly splits
+    // and re-merges through one articulation point.
+    let gen = (point_sets(2..=20, 3.0), u64s(0..=u64::MAX), usizes(1..=15));
+    Property::new("repeated_moves_of_one_node_never_desync_the_backbone")
+        .cases(48)
+        .run(&gen, |(points, seed, moves)| {
+            let mut engine = Maintainer::with_population(MaintainConfig::default(), points.clone());
+            let mut rng = StdRng::seed_from_u64(*seed);
+            use mcds_rng::Rng;
+            for step in 0..*moves {
+                let alive = engine.alive();
+                let (node, _) = alive[rng.gen_range(0..alive.len())];
+                let to = Point::new(rng.gen_range(0.0..=6.0), rng.gen_range(0.0..=6.0));
+                let report = engine.apply(mcds_maintain::TopologyEvent::Move { node, to });
+                prop_assert!(report.valid, "move {} reported invalid", step);
+                if let Err(msg) = audit(&engine, &format!("move {step}")) {
+                    return TestResult::Fail(msg);
+                }
+            }
+            TestResult::Pass
+        });
+}

@@ -30,6 +30,15 @@ if [[ -z "$no_clippy" ]]; then
   cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+echo "== check: corpus replay + differential oracle (mcds-check) =="
+# Replays tests/corpus/*.case first, then >= 500 fresh random instances
+# against the exact solver; also diffs corpus replay at 1 vs 4 threads.
+cargo test --quiet --release -p mcds --test differential
+
+echo "== check: bounded fuzz smoke (${MCDS_CHECK_FUZZ_SECS:-30}s, fixed seed) =="
+cargo test --quiet --release -p mcds --test differential -- \
+  --ignored fuzz_smoke_bounded
+
 echo "== pool determinism: sweep + exp_compare CSVs at --threads 1 vs 4 =="
 det_dir=$(mktemp -d)
 trap 'rm -rf "$det_dir"' EXIT
@@ -62,8 +71,8 @@ awk -v c="$coverage" 'BEGIN { exit !(c >= 95.0) }' || {
   echo "span coverage $coverage% < 95%" >&2; exit 1; }
 echo "solve output identical with tracing on; trace valid, coverage $coverage%"
 
-echo "== grid vs naive speedup smoke (n=10k, release) =="
+echo "== grid vs naive speedup smoke (n=20k, release) =="
 cargo test --quiet --release -p mcds-udg --test grid_equivalence -- \
-  --ignored grid_beats_naive_5x_at_10k
+  --ignored grid_beats_naive_5x_at_20k
 
 echo "verify: all checks passed"

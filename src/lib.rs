@@ -29,6 +29,7 @@
 //! | [`maintain`] | `mcds-maintain` | dynamic CDS maintenance under churn |
 //! | [`obs`] | `mcds-obs` | zero-dep tracing, counters/histograms, JSONL profiling |
 //! | [`rng`] | `mcds-rng` | zero-dependency seeded PRNG (hermetic builds) |
+//! | [`check`] | `mcds-check` | in-tree property testing: generators, shrinking, corpus, differential oracle |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@
 pub mod paper;
 
 pub use mcds_cds as cds;
+pub use mcds_check as check;
 pub use mcds_distsim as distsim;
 pub use mcds_exact as exact;
 pub use mcds_geom as geom;

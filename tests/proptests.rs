@@ -1,5 +1,11 @@
 //! Property-based tests across the workspace: the core invariants of the
 //! paper's objects, exercised on randomized inputs via proptest.
+//!
+//! SUPERSEDED: these properties have been ported to the in-tree
+//! `mcds-check` engine in `tests/check_properties.rs`, which runs in
+//! the default `cargo test -q`.  This proptest variant is kept
+//! compiling behind `ext-tests` for cross-validation against an
+//! external shrinker, but is no longer the suite of record.
 
 // Property tests need the external `proptest` crate, which is not
 // available in hermetic (offline) builds; enable with
