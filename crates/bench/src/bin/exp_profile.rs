@@ -14,10 +14,13 @@
 //! The `*_ms` columns make `exp_profile.csv` a **timing-only artifact**
 //! (DESIGN.md §8–9): the counter columns are byte-stable across runs,
 //! the wall-clock ones are not, so this CSV is never diffed for
-//! determinism.
+//! determinism.  Alongside it the experiment writes `BENCH_profile.json`
+//! — the perf-trajectory entry future re-anchors diff to see whether the
+//! solve curve regressed (counters exactly, wall times by eyeball).
 //!
 //! Usage: `exp_profile [--quick] [--seed <u64>] [--out <dir>] [--threads <n>]`
 
+use std::io::Write;
 use std::time::Instant;
 
 use mcds_bench::sweeps::ms;
@@ -26,6 +29,10 @@ use mcds_cds::{Algorithm, Solver};
 use mcds_rng::rngs::StdRng;
 use mcds_rng::SeedableRng;
 use mcds_udg::gen;
+
+/// One row of the `BENCH_profile.json` trajectory entry:
+/// `(n, giant, edges, cds, solve_ms, scanned, selected, pruned)`.
+type ProfilePoint = (usize, usize, usize, usize, f64, u64, u64, u64);
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -73,6 +80,8 @@ fn main() {
         ]);
     }
 
+    let mut points: Vec<ProfilePoint> = Vec::new();
+
     for &n in sizes {
         // Fresh counters per size: the registry is process-global and the
         // scan counts below must belong to this solve alone.
@@ -98,6 +107,16 @@ fn main() {
         let pruned = mcds_obs::counter_value("prune.removed");
         let solve_total = (t.phase1 + t.phase2 + t.verify + t.prune).as_secs_f64();
         let p2_share = 100.0 * t.phase2.as_secs_f64() / solve_total.max(1e-9);
+        points.push((
+            n,
+            g.num_nodes(),
+            g.num_edges(),
+            solution.len(),
+            solve_total * 1e3,
+            scanned,
+            selected,
+            pruned,
+        ));
 
         table.row(&[
             n.to_string(),
@@ -130,6 +149,15 @@ fn main() {
         }
     }
     table.print();
+
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join("BENCH_profile.json");
+        let mut file = std::fs::File::create(&path).expect("create BENCH_profile.json");
+        write!(file, "{}", to_bench_json(cfg.seed, &points)).expect("write BENCH_profile.json");
+        println!("\nwrote {}", path.display());
+    }
+
     println!();
     println!(
         "RESULT: the superlinear passes -- phase 2 (max-gain connector \
@@ -138,4 +166,28 @@ fn main() {
          every merge step rescans all non-CDS nodes, so scan work is \
          ~|C| x n while phase 1 and verification stay near-linear."
     );
+}
+
+/// The `BENCH_*.json` trajectory entry (hand-rolled JSON; the workspace
+/// is hermetic).  `cds_size` and the counters are deterministic for a
+/// given seed and diff exactly across re-anchors; `solve_ms` is
+/// wall-clock and compared only by eyeball (DESIGN.md §8).
+fn to_bench_json(seed: u64, points: &[ProfilePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"profile\",\n");
+    out.push_str(&format!("  \"schema\": 1,\n  \"seed\": {seed},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, &(n, giant, edges, cds, solve_ms, scanned, selected, pruned)) in
+        points.iter().enumerate()
+    {
+        out.push_str(&format!(
+            "    {{\"n\": {n}, \"giant\": {giant}, \"edges\": {edges}, \
+             \"cds_size\": {cds}, \"solve_ms\": {solve_ms:.3}, \
+             \"candidates_scanned\": {scanned}, \"connectors_selected\": {selected}, \
+             \"prune_removed\": {pruned}}}{}\n",
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

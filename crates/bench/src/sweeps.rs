@@ -78,22 +78,57 @@ pub struct Trial {
 /// `build`/`phase1`/`phase2`/`verify`); sizes are deterministic, wall
 /// times of course are not.
 pub fn timed_trials(alg: Algorithm, cell: Cell, seed: u64) -> Vec<Trial> {
+    timed_family_trials(alg, cell, seed, 1, false)
+}
+
+/// [`timed_trials`] for the fault-tolerant `(k, m)` family: each trial
+/// solves with `.m(m).biconnect(biconnect)`, adding the `augment` phase
+/// to the accounting.  With `m = 1` and `biconnect` off this is exactly
+/// [`timed_trials`] (the builder defaults), preserving the bit-identical
+/// CSV contract of the classic path.
+///
+/// Instances the family cannot harden — `biconnect` requested but the
+/// instance has a cut vertex no augmentation can bypass — are skipped,
+/// so the returned vector may be shorter than `cell.instances`.
+pub fn timed_family_trials(
+    alg: Algorithm,
+    cell: Cell,
+    seed: u64,
+    m: usize,
+    biconnect: bool,
+) -> Vec<Trial> {
     let pool = mcds_pool::global::pool();
     pool.parallel_map((0..cell.instances).collect(), |_, i| {
         let gen_start = Instant::now();
         let udg = instance(cell, seed, i);
         let gen_time = gen_start.elapsed();
-        let mut solution = Solver::new(alg)
+        match Solver::new(alg)
             .verify(true)
             .timings(true)
+            .m(m)
+            .biconnect(biconnect)
             .solve(udg.graph())
-            .expect("connected instance");
-        solution.set_build_time(gen_time);
-        Trial {
-            n: udg.len(),
-            solution,
+        {
+            Ok(mut solution) => {
+                solution.set_build_time(gen_time);
+                Some(Trial {
+                    n: udg.len(),
+                    solution,
+                })
+            }
+            Err(e) if biconnect => {
+                debug_assert!(
+                    matches!(e, mcds_cds::CdsError::NotBiconnected { .. }),
+                    "unexpected family failure: {e}"
+                );
+                None
+            }
+            Err(e) => panic!("connected instance failed to solve: {e}"),
         }
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Mean per-phase timings over a set of trials (zeros for no trials).
@@ -105,6 +140,7 @@ pub fn mean_timings(trials: &[Trial]) -> PhaseTimings {
         sum.build += pt.build;
         sum.phase1 += pt.phase1;
         sum.phase2 += pt.phase2;
+        sum.augment += pt.augment;
         sum.verify += pt.verify;
         sum.prune += pt.prune;
     }
@@ -112,6 +148,7 @@ pub fn mean_timings(trials: &[Trial]) -> PhaseTimings {
         build: sum.build / k,
         phase1: sum.phase1 / k,
         phase2: sum.phase2 / k,
+        augment: sum.augment / k,
         verify: sum.verify / k,
         prune: sum.prune / k,
     }
@@ -397,6 +434,28 @@ mod tests {
         assert!(m.total() >= m.phase1);
         assert_eq!(mean_timings(&[]), PhaseTimings::default());
         assert_eq!(ms(Duration::from_millis(2)), "2.000");
+    }
+
+    #[test]
+    fn family_trials_match_classic_at_defaults() {
+        let cell = Cell {
+            n: 30,
+            side: 3.0,
+            instances: 3,
+        };
+        let classic = timed_trials(Algorithm::GreedyConnect, cell, 9);
+        let family = timed_family_trials(Algorithm::GreedyConnect, cell, 9, 1, false);
+        assert_eq!(classic.len(), family.len());
+        for (a, b) in classic.iter().zip(&family) {
+            assert_eq!(a.solution.nodes(), b.solution.nodes());
+        }
+        // The hardened variants run (skipping unharden-able instances)
+        // and keep the m-fold contract.
+        let hard = timed_family_trials(Algorithm::GreedyConnect, cell, 9, 2, true);
+        assert!(hard.len() <= cell.instances);
+        for t in &hard {
+            assert!(t.solution.len() >= 2, "a (2,2) backbone has >= 2 nodes");
+        }
     }
 
     #[test]

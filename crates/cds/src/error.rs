@@ -44,6 +44,25 @@ pub enum CdsError {
         /// Route target.
         to: usize,
     },
+    /// A candidate set fails m-fold domination: `node` sees only `have`
+    /// of the `need` backbone neighbors the fault-tolerance contract
+    /// requires (see [`crate::fault::check_m_cds`]).
+    NotMDominating {
+        /// The first under-covered node found.
+        node: usize,
+        /// Backbone neighbors the node actually has.
+        have: usize,
+        /// Backbone neighbors the contract requires (`m`).
+        need: usize,
+    },
+    /// A candidate backbone is connected but not 2-vertex-connected;
+    /// `cut` is a cut vertex whose failure would split it (and which
+    /// augmentation could not bypass, when raised by
+    /// [`crate::fault::biconnect_augment`]).
+    NotBiconnected {
+        /// A cut vertex of the induced backbone.
+        cut: usize,
+    },
     /// A proof-derived inequality (Theorem 8/10 accounting) failed on a
     /// concrete instance; the message names the violated piece.
     BoundViolated(String),
@@ -71,6 +90,15 @@ impl fmt::Display for CdsError {
                     f,
                     "pair ({from}, {to}) is connected but unroutable via the backbone"
                 )
+            }
+            CdsError::NotMDominating { node, have, need } => {
+                write!(
+                    f,
+                    "node {node} has only {have} of the {need} required backbone neighbors"
+                )
+            }
+            CdsError::NotBiconnected { cut } => {
+                write!(f, "node {cut} is a cut vertex of the backbone")
             }
             CdsError::BoundViolated(what) => write!(f, "proof bound violated: {what}"),
             CdsError::Stalled(what) => write!(f, "connector selection stalled: {what}"),
@@ -107,6 +135,16 @@ mod tests {
         assert!(CdsError::BoundViolated("|C1| too big".into())
             .to_string()
             .contains("|C1|"));
+        let m = CdsError::NotMDominating {
+            node: 3,
+            have: 1,
+            need: 2,
+        };
+        assert!(m.to_string().contains("node 3"));
+        assert!(m.to_string().contains("only 1 of the 2"));
+        assert!(CdsError::NotBiconnected { cut: 5 }
+            .to_string()
+            .contains("node 5 is a cut vertex"));
     }
 
     #[test]

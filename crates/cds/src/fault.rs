@@ -1,0 +1,734 @@
+//! Fault-tolerant backbone family: (1,m)- and (2,m)-CDS constructions
+//! (ROADMAP item 4, after Zhang–Zhou–Ko–Du and Zhou et al. 2023).
+//!
+//! The paper's two-phased CDS is a single-point-of-failure backbone: one
+//! dominator dies and coverage or connectivity breaks.  This module
+//! generalizes both phases and adds a connectivity-hardening post-pass:
+//!
+//! 1. **m-fold domination** ([`m_fold_dominators`],
+//!    [`weighted_m_fold_dominators`]) — a node-weighted greedy that keeps
+//!    electing dominators until every non-backbone node is covered by at
+//!    least `m` of them, so any `m − 1` dominator deaths leave every
+//!    client covered.
+//! 2. **Weighted connectors** ([`weighted_max_gain_connectors`]) — the
+//!    paper's max-gain rule with component merges priced per unit of node
+//!    weight (cross-multiplied integer arithmetic; no floats, so
+//!    selection stays deterministic), falling back to shortest-path
+//!    connectors when only stepping stones remain.
+//! 3. **2-connectivity augmentation** ([`biconnect_augment`]) — repeated
+//!    cut-vertex elimination: while the backbone has an articulation
+//!    point `c`, reconnect a fragment of `backbone − c` to the rest via a
+//!    shortest path in `G` avoiding `c` and absorb the path's interior.
+//!    Because a dominating backbone keeps every node of `G` within one
+//!    hop, each augmenting path lives in the backbone's 2-hop
+//!    neighborhood.
+//!
+//! The result is a `(k,m)` backbone: `k = 2` survives any single node
+//! failure with connectivity intact, `m ≥ 2` keeps every client covered
+//! through `m − 1` dominator failures.  Degenerate-size conventions match
+//! `mcds_exact::is_biconnected`: singletons and adjacent pairs count as
+//! biconnected.
+//!
+//! All entry points are also reachable through the [`crate::Solver`]
+//! builder (`.m(2)`, `.biconnect(true)`), which owns timing, verification
+//! ([`check_m_cds`]) and the m-aware pruning post-pass ([`prune_m_cds`]).
+
+use std::collections::VecDeque;
+
+use mcds_graph::{node_mask, subsets, traversal, Graph};
+
+use crate::{connect, Cds, CdsError};
+
+/// Elects an m-fold dominating set greedily with unit node weights:
+/// every node outside the returned set has ≥ `m` neighbors inside it.
+///
+/// `m = 0` returns the empty set; `m = 1` is the classic greedy
+/// dominating set.  Always feasible: a node nobody else can cover `m`
+/// times is eventually elected itself.
+pub fn m_fold_dominators(g: &Graph, m: usize) -> Vec<usize> {
+    weighted_m_fold_dominators(g, &vec![1u64; g.num_nodes()], m)
+        .expect("unit weights are always valid")
+}
+
+/// Node-weighted greedy m-fold domination: repeatedly elects the node
+/// with the best coverage-deficit reduction per unit weight (ties to the
+/// smaller id), until every non-member has ≥ `m` member neighbors.
+///
+/// Weights are abstract costs (e.g. inverse residual energy); the
+/// comparison `gain_a / w_a > gain_b / w_b` is evaluated as
+/// `gain_a · w_b > gain_b · w_a` in 128-bit integers, so the election is
+/// exact and deterministic.  Zero weights are allowed and sort first.
+///
+/// # Errors
+///
+/// [`CdsError::InvalidSet`] if `weights.len() != g.num_nodes()`.
+pub fn weighted_m_fold_dominators(
+    g: &Graph,
+    weights: &[u64],
+    m: usize,
+) -> Result<Vec<usize>, CdsError> {
+    let n = g.num_nodes();
+    if weights.len() != n {
+        return Err(CdsError::InvalidSet(format!(
+            "weight vector has {} entries for {} nodes",
+            weights.len(),
+            n
+        )));
+    }
+    if m == 0 || n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut chosen = vec![false; n];
+    // cover[v] = number of elected neighbors of v.
+    let mut cover = vec![0usize; n];
+    // Remaining deficit of v: 0 once chosen, else max(0, m − cover[v]).
+    let deficit = |chosen: &[bool], cover: &[usize], v: usize| {
+        if chosen[v] {
+            0
+        } else {
+            m.saturating_sub(cover[v])
+        }
+    };
+    let mut total: usize = n * m;
+    let mut out = Vec::new();
+    let mut scanned = 0u64;
+    while total > 0 {
+        let mut best: Option<(usize, usize)> = None; // (gain, node)
+        for u in 0..n {
+            if chosen[u] {
+                continue;
+            }
+            scanned += 1;
+            // Electing u erases u's own deficit and covers each
+            // unsatisfied non-member neighbor once more.
+            let mut gain = deficit(&chosen, &cover, u);
+            for w in g.neighbors_iter(u) {
+                if deficit(&chosen, &cover, w) > 0 {
+                    gain += 1;
+                }
+            }
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bu)) => {
+                    let lhs = gain as u128 * u128::from(weights[bu]);
+                    let rhs = bg as u128 * u128::from(weights[u]);
+                    lhs > rhs || (lhs == rhs && u < bu)
+                }
+            };
+            if better {
+                best = Some((gain, u));
+            }
+        }
+        let (gain, u) = best.expect("positive total deficit implies a positive-gain candidate");
+        total -= gain;
+        chosen[u] = true;
+        out.push(u);
+        for w in g.neighbors_iter(u) {
+            cover[w] += 1;
+        }
+    }
+    mcds_obs::counter!("mfold.candidates_scanned", scanned);
+    mcds_obs::counter!("mfold.selected", out.len() as u64);
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Phase 2 for the fault-tolerant family: connects the components of
+/// `G[seed]` by repeatedly adding the non-seed node with the best
+/// component-merge gain per unit weight, then falls back to
+/// shortest-path connectors once only zero-gain stepping stones remain
+/// (an m-fold seed is dominating, so components sit ≤ 3 hops apart but
+/// not always ≤ 2 as an MIS would — Lemma 9 does not apply).
+///
+/// Returns the connectors only (sorted, disjoint from `seed`).
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] on the empty graph,
+/// * [`CdsError::InvalidSet`] if the weight vector is malformed or the
+///   seed is empty,
+/// * [`CdsError::DisconnectedGraph`] if `g` cannot connect the seed.
+pub fn weighted_max_gain_connectors(
+    g: &Graph,
+    seed: &[usize],
+    weights: &[u64],
+) -> Result<Vec<usize>, CdsError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if weights.len() != n {
+        return Err(CdsError::InvalidSet(format!(
+            "weight vector has {} entries for {} nodes",
+            weights.len(),
+            n
+        )));
+    }
+    if seed.is_empty() {
+        return Err(CdsError::InvalidSet("empty seed set".into()));
+    }
+    let mut mask = node_mask(n, seed);
+    let mut connectors: Vec<usize> = Vec::new();
+    loop {
+        let q = subsets::count_components(g, &mask);
+        if q <= 1 {
+            break;
+        }
+        let mut dsu = subsets::components_dsu(g, &mask);
+        // Best (merge-gain, node) per unit weight; gain = adjacent
+        // components − 1 merges performed by the addition.
+        let mut best: Option<(usize, usize)> = None;
+        for w in 0..n {
+            if mask[w] {
+                continue;
+            }
+            let adj = subsets::adjacent_components(g, &mask, &mut dsu, w).len();
+            if adj < 2 {
+                continue;
+            }
+            let gain = adj - 1;
+            let better = match best {
+                None => true,
+                Some((bg, bw)) => {
+                    let lhs = gain as u128 * u128::from(weights[bw]);
+                    let rhs = bg as u128 * u128::from(weights[w]);
+                    lhs > rhs || (lhs == rhs && w < bw)
+                }
+            };
+            if better {
+                best = Some((gain, w));
+            }
+        }
+        match best {
+            Some((_, w)) => {
+                mask[w] = true;
+                connectors.push(w);
+                mcds_obs::counter!("connectors.selected");
+            }
+            None => {
+                // Only stepping stones remain: let the shortest-path
+                // walker finish (it reports DisconnectedGraph if `g`
+                // itself cannot connect the seed).
+                let current: Vec<usize> = (0..n).filter(|&v| mask[v]).collect();
+                let rest = connect::path_connectors(g, &current)?;
+                connectors.extend(rest);
+                break;
+            }
+        }
+    }
+    connectors.sort_unstable();
+    Ok(connectors)
+}
+
+/// Hardens a connected dominating `set` to 2-vertex-connectivity by
+/// cut-vertex elimination, returning the augmented set (sorted,
+/// superset of the input).
+///
+/// While the induced backbone has an articulation point `c`: pick a
+/// fragment of `backbone − c`, find a shortest path in `G − c` from the
+/// fragment to the rest of the backbone, and absorb the path's interior
+/// nodes.  Each round strictly shrinks the number of fragments at `c`,
+/// and each absorbed path adds ≥ 1 new node, so the pass terminates in
+/// ≤ n augmentations.  Only *adds* nodes: every domination property of
+/// the input is preserved.
+///
+/// Sets of size ≤ 2 are biconnected by convention (matching
+/// `mcds_exact::is_biconnected`) and returned unchanged.
+///
+/// # Errors
+///
+/// * [`CdsError::InvalidSet`] if `set` is empty on a non-empty graph,
+/// * [`CdsError::NotConnected`] if `G[set]` is disconnected,
+/// * [`CdsError::NotBiconnected`] if some cut vertex cannot be bypassed
+///   because `g` itself is not 2-connected.
+pub fn biconnect_augment(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if set.is_empty() {
+        return Err(CdsError::InvalidSet("empty backbone".into()));
+    }
+    let mut backbone = mcds_graph::node_set(set.iter().copied());
+    if !subsets::is_connected_subset(g, &node_mask(n, &backbone)) {
+        return Err(CdsError::NotConnected);
+    }
+    let mut added = 0u64;
+    let mut paths = 0u64;
+    loop {
+        if backbone.len() <= 2 {
+            break; // Biconnected by convention.
+        }
+        let (sub, ids) = g.induced_subgraph(&backbone);
+        let cuts = traversal::articulation_points(&sub);
+        let Some(&cut_local) = cuts.first() else {
+            break;
+        };
+        let c = ids[cut_local];
+        // Fragments of the backbone with `c` removed; reconnect the one
+        // containing the smallest node to the rest, bypassing `c`.
+        let mut frag_mask = node_mask(n, &backbone);
+        frag_mask[c] = false;
+        let fragment = component_of(g, &frag_mask, *backbone.iter().find(|&&v| v != c).unwrap());
+        let path =
+            bfs_avoiding(g, c, &fragment, &frag_mask).ok_or(CdsError::NotBiconnected { cut: c })?;
+        paths += 1;
+        for v in path {
+            if backbone.binary_search(&v).is_err() {
+                let at = backbone.binary_search(&v).unwrap_err();
+                backbone.insert(at, v);
+                added += 1;
+            }
+        }
+    }
+    mcds_obs::counter!("augment.paths", paths);
+    mcds_obs::counter!("augment.added", added);
+    Ok(backbone)
+}
+
+/// The masked component containing `start` (nodes of `mask` reachable
+/// from `start` through `mask`).
+fn component_of(g: &Graph, mask: &[bool], start: usize) -> Vec<usize> {
+    debug_assert!(mask[start]);
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::from([start]);
+    seen[start] = true;
+    let mut out = vec![start];
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors_iter(v) {
+            if mask[u] && !seen[u] {
+                seen[u] = true;
+                out.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Shortest path (as its interior + endpoint node list) from any node of
+/// `sources` to any *other* masked node, through `g` minus `avoid`.
+/// Returns `None` when no such path exists.  Deterministic: BFS visits
+/// neighbors in adjacency order from sources in sorted order.
+fn bfs_avoiding(
+    g: &Graph,
+    avoid: usize,
+    sources: &[usize],
+    target_mask: &[bool],
+) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    let source_mask = node_mask(n, sources);
+    let mut parent = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        seen[s] = true;
+        queue.push_back(s);
+    }
+    seen[avoid] = true; // Never traverse the cut vertex.
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors_iter(v) {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            parent[u] = v;
+            if target_mask[u] && !source_mask[u] {
+                // Walk back, collecting the path's interior (the
+                // endpoint in the far fragment is already a backbone
+                // node; recording it is harmless — it deduplicates).
+                let mut path = vec![u];
+                let mut at = v;
+                while !source_mask[at] {
+                    path.push(at);
+                    at = parent[at];
+                }
+                return Some(path);
+            }
+            queue.push_back(u);
+        }
+    }
+    None
+}
+
+/// Checks the `(1,m)` backbone contract: `set` is connected in `g` and
+/// every node outside it has ≥ `m` neighbors inside.
+///
+/// # Errors
+///
+/// * [`CdsError::InvalidSet`] for an empty set on a non-empty graph,
+/// * [`CdsError::NotMDominating`] naming the first under-covered node,
+/// * [`CdsError::NotConnected`] if `G[set]` is disconnected.
+pub fn check_m_cds(g: &Graph, set: &[usize], m: usize) -> Result<(), CdsError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Ok(());
+    }
+    if set.is_empty() {
+        return Err(CdsError::InvalidSet(
+            "empty set on a non-empty graph".into(),
+        ));
+    }
+    let mask = node_mask(n, set);
+    for v in 0..n {
+        if mask[v] {
+            continue;
+        }
+        let have = g.neighbors_iter(v).filter(|&u| mask[u]).count();
+        if have < m {
+            return Err(CdsError::NotMDominating {
+                node: v,
+                have,
+                need: m,
+            });
+        }
+    }
+    if !subsets::is_connected_subset(g, &mask) {
+        return Err(CdsError::NotConnected);
+    }
+    Ok(())
+}
+
+/// Whether `G[set]` is biconnected, with the same degenerate-size
+/// conventions as `mcds_exact::is_biconnected` (kept local so `mcds-cds`
+/// does not depend on the exact solvers).
+pub(crate) fn is_biconnected_set(g: &Graph, set: &[usize]) -> bool {
+    match set.len() {
+        0 => g.num_nodes() == 0,
+        1 => true,
+        _ => {
+            let (sub, _ids) = g.induced_subgraph(set);
+            sub.is_connected() && traversal::articulation_points(&sub).is_empty()
+        }
+    }
+}
+
+/// Typed variant of [`is_biconnected_set`] for verification paths:
+/// names a concrete cut vertex (or reports disconnection).
+///
+/// # Errors
+///
+/// * [`CdsError::InvalidSet`] for an empty set on a non-empty graph,
+/// * [`CdsError::NotConnected`] if `G[set]` is disconnected,
+/// * [`CdsError::NotBiconnected`] naming the smallest cut vertex.
+pub fn check_biconnected(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
+    if g.num_nodes() == 0 {
+        return Ok(());
+    }
+    if set.is_empty() {
+        return Err(CdsError::InvalidSet(
+            "empty set on a non-empty graph".into(),
+        ));
+    }
+    if set.len() <= 2 {
+        return if subsets::is_connected_subset(g, &node_mask(g.num_nodes(), set)) {
+            Ok(())
+        } else {
+            Err(CdsError::NotConnected)
+        };
+    }
+    let (sub, ids) = g.induced_subgraph(set);
+    if !sub.is_connected() {
+        return Err(CdsError::NotConnected);
+    }
+    match traversal::articulation_points(&sub).first() {
+        Some(&c) => Err(CdsError::NotBiconnected { cut: ids[c] }),
+        None => Ok(()),
+    }
+}
+
+/// Greedily removes redundant nodes from a `(k,m)` backbone: a node is
+/// dropped only if the remainder stays m-fold dominating, connected, and
+/// (when `biconnect` is set) biconnected.  The output is 1-minimal for
+/// exactly that property set, so the pass is idempotent.
+///
+/// # Errors
+///
+/// Propagates the [`check_m_cds`] violation (or
+/// [`CdsError::NotBiconnected`]) if `set` does not satisfy the contract
+/// to begin with.
+pub fn prune_m_cds(
+    g: &Graph,
+    set: &[usize],
+    m: usize,
+    biconnect: bool,
+) -> Result<Vec<usize>, CdsError> {
+    check_m_cds(g, set, m)?;
+    if biconnect {
+        check_biconnected(g, set)?;
+    }
+    let mut current: Vec<usize> = mcds_graph::node_set(set.iter().copied());
+    // Sweep to a fixpoint: a drop rejected early in a sweep (say, for
+    // biconnectivity) can become legal after later drops, so a single
+    // pass is not 1-minimal.  Each sweep either removes a node or ends
+    // the loop, so this terminates within |set| sweeps.
+    loop {
+        let mut changed = false;
+        let mut order = current.clone();
+        order.sort_by_key(|&v| (g.degree(v), v));
+        for v in order {
+            if current.len() <= 1 {
+                break;
+            }
+            let candidate: Vec<usize> = current.iter().copied().filter(|&u| u != v).collect();
+            let ok = check_m_cds(g, &candidate, m).is_ok()
+                && (!biconnect || is_biconnected_set(g, &candidate));
+            if ok {
+                current = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(current)
+}
+
+/// One-call construction of a fault-tolerant backbone: m-fold greedy
+/// dominators, weighted max-gain connectors, and (optionally) the
+/// 2-connectivity augmentation — the `(k,m)` analogue of
+/// [`crate::greedy_cds`].  Unit node weights; use the phase functions
+/// directly for weighted variants.
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] / [`CdsError::DisconnectedGraph`] on
+///   invalid inputs,
+/// * [`CdsError::NotBiconnected`] when `biconnect` is requested but `g`
+///   itself has a cut vertex no augmentation can bypass.
+pub fn fault_tolerant_cds(g: &Graph, m: usize, biconnect: bool) -> Result<Cds, CdsError> {
+    if g.num_nodes() == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let m = m.max(1);
+    let weights = vec![1u64; g.num_nodes()];
+    let dominators = weighted_m_fold_dominators(g, &weights, m)?;
+    let mut connectors = weighted_max_gain_connectors(g, &dominators, &weights)?;
+    if biconnect {
+        let mut nodes: Vec<usize> = dominators.iter().chain(&connectors).copied().collect();
+        nodes = biconnect_augment(g, &nodes)?;
+        let dom_mask = node_mask(g.num_nodes(), &dominators);
+        connectors = nodes.into_iter().filter(|&v| !dom_mask[v]).collect();
+    }
+    Ok(Cds::new(dominators, connectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gnarly() -> Graph {
+        Graph::from_edges(
+            12,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 0),
+                (2, 8),
+                (5, 11),
+            ],
+        )
+    }
+
+    #[test]
+    fn m_fold_dominators_meet_their_coverage_contract() {
+        for g in [
+            gnarly(),
+            Graph::cycle(15),
+            Graph::complete(6),
+            Graph::path(10),
+        ] {
+            for m in 1..=3 {
+                let doms = m_fold_dominators(&g, m);
+                let mask = node_mask(g.num_nodes(), &doms);
+                for v in 0..g.num_nodes() {
+                    if !mask[v] {
+                        let have = g.neighbors_iter(v).filter(|&u| mask[u]).count();
+                        assert!(have >= m, "node {v} covered {have} < {m} in {g:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_zero_and_degenerate_inputs() {
+        assert!(m_fold_dominators(&Graph::cycle(5), 0).is_empty());
+        assert!(m_fold_dominators(&Graph::empty(0), 2).is_empty());
+        // A singleton graph must elect itself.
+        assert_eq!(m_fold_dominators(&Graph::empty(1), 2), vec![0]);
+        // Degree-starved nodes elect themselves rather than looping.
+        let p2 = Graph::path(2);
+        assert_eq!(m_fold_dominators(&p2, 3), vec![0, 1]);
+    }
+
+    #[test]
+    fn weights_steer_the_election() {
+        // On a star, the hub wins at unit weights (it covers everyone),
+        // but a prohibitive hub weight pushes the election to the leaves.
+        let star = Graph::star(6);
+        let unit = m_fold_dominators(&star, 1);
+        assert_eq!(unit, vec![0]);
+        let mut costly_hub = vec![1u64; 6];
+        costly_hub[0] = 1_000_000;
+        let avoided = weighted_m_fold_dominators(&star, &costly_hub, 1).unwrap();
+        // Leaves cannot cover each other, so the hub still appears, but
+        // only after every leaf elected itself.
+        assert!(avoided.len() > 1);
+        let bad = weighted_m_fold_dominators(&star, &[1, 2], 1);
+        assert!(matches!(bad, Err(CdsError::InvalidSet(_))));
+    }
+
+    #[test]
+    fn weighted_connectors_connect_m_fold_seeds() {
+        for g in [gnarly(), Graph::cycle(15), Graph::path(12)] {
+            let weights = vec![1u64; g.num_nodes()];
+            for m in 1..=3 {
+                let doms = m_fold_dominators(&g, m);
+                let conn = weighted_max_gain_connectors(&g, &doms, &weights).unwrap();
+                let all: Vec<usize> = mcds_graph::node_set(doms.iter().chain(&conn).copied());
+                assert!(
+                    subsets::is_connected_subset(&g, &node_mask(g.num_nodes(), &all)),
+                    "m={m} {g:?}"
+                );
+                for c in &conn {
+                    assert!(doms.binary_search(c).is_err(), "connector {c} in seed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_produces_biconnected_backbones() {
+        // Cycles and chorded cycles are 2-connected, so augmentation
+        // must succeed; start from a deliberately fragile seed.
+        for g in [gnarly(), Graph::cycle(9), Graph::complete(7)] {
+            let cds = crate::greedy_cds(&g).unwrap();
+            let aug = biconnect_augment(&g, cds.nodes()).unwrap();
+            assert!(is_biconnected_set(&g, &aug), "{g:?}");
+            // Superset of the input: augmentation only adds.
+            for v in cds.nodes() {
+                assert!(aug.binary_search(v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_rejects_graphs_with_unavoidable_cuts() {
+        // A path's interior nodes are articulation points of the graph
+        // itself; a backbone spanning both sides cannot be biconnected.
+        let g = Graph::path(7);
+        let backbone: Vec<usize> = (1..6).collect();
+        match biconnect_augment(&g, &backbone) {
+            Err(CdsError::NotBiconnected { cut }) => assert!(backbone.contains(&cut)),
+            other => panic!("expected NotBiconnected, got {other:?}"),
+        }
+        // Trivially small backbones pass unchanged.
+        assert_eq!(biconnect_augment(&g, &[3]).unwrap(), vec![3]);
+        assert_eq!(biconnect_augment(&g, &[3, 4]).unwrap(), vec![3, 4]);
+        // Disconnected backbones are rejected up front.
+        assert_eq!(biconnect_augment(&g, &[1, 5]), Err(CdsError::NotConnected));
+    }
+
+    #[test]
+    fn check_m_cds_reports_the_first_violation() {
+        let g = Graph::cycle(6);
+        assert!(check_m_cds(&g, &[0, 1, 2, 3, 4], 2).is_ok());
+        match check_m_cds(&g, &[0, 1, 2], 2) {
+            Err(CdsError::NotMDominating { node, have, need }) => {
+                assert_eq!((node, have, need), (3, 1, 2));
+            }
+            other => panic!("expected NotMDominating, got {other:?}"),
+        }
+        assert_eq!(check_m_cds(&g, &[0, 3], 1), Err(CdsError::NotConnected));
+        assert!(matches!(
+            check_m_cds(&g, &[], 1),
+            Err(CdsError::InvalidSet(_))
+        ));
+    }
+
+    #[test]
+    fn m_aware_pruning_is_idempotent_and_contract_preserving() {
+        for g in [gnarly(), Graph::cycle(12)] {
+            for m in 1..=2 {
+                for biconnect in [false, true] {
+                    let cds = fault_tolerant_cds(&g, m, biconnect).unwrap();
+                    let pruned = prune_m_cds(&g, cds.nodes(), m, biconnect).unwrap();
+                    assert!(check_m_cds(&g, &pruned, m).is_ok(), "m={m} {g:?}");
+                    if biconnect {
+                        assert!(is_biconnected_set(&g, &pruned), "m={m} {g:?}");
+                    }
+                    let again = prune_m_cds(&g, &pruned, m, biconnect).unwrap();
+                    assert_eq!(again, pruned, "prune not idempotent, m={m} {g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_tolerant_cds_whole_family_on_named_graphs() {
+        for g in [gnarly(), Graph::cycle(10), Graph::complete(8)] {
+            for m in 1..=3 {
+                let plain = fault_tolerant_cds(&g, m, false).unwrap();
+                assert!(check_m_cds(&g, plain.nodes(), m).is_ok());
+                let hard = fault_tolerant_cds(&g, m, true).unwrap();
+                assert!(check_m_cds(&g, hard.nodes(), m).is_ok());
+                assert!(is_biconnected_set(&g, hard.nodes()));
+                // Hardening never shrinks the backbone.
+                assert!(hard.len() >= plain.len());
+            }
+        }
+        assert_eq!(
+            fault_tolerant_cds(&Graph::empty(0), 2, false),
+            Err(CdsError::EmptyGraph)
+        );
+        assert_eq!(
+            fault_tolerant_cds(&Graph::from_edges(4, [(0, 1), (2, 3)]), 2, false),
+            Err(CdsError::DisconnectedGraph)
+        );
+    }
+
+    #[test]
+    fn backbone_survives_single_dominator_failure_when_m_is_2() {
+        // The robustness claim in miniature: kill any single backbone
+        // node of a (2,2) backbone and every surviving non-member is
+        // still covered, and the survivors stay connected.
+        let g = gnarly();
+        let cds = fault_tolerant_cds(&g, 2, true).unwrap();
+        for &dead in cds.nodes() {
+            let survivors: Vec<usize> =
+                cds.nodes().iter().copied().filter(|&v| v != dead).collect();
+            let mask = node_mask(g.num_nodes(), &survivors);
+            for v in 0..g.num_nodes() {
+                if v == dead || mask[v] {
+                    continue;
+                }
+                assert!(
+                    g.neighbors_iter(v).any(|u| mask[u]),
+                    "node {v} uncovered after killing {dead}"
+                );
+            }
+            assert!(
+                subsets::is_connected_subset(&g, &mask),
+                "backbone split after killing {dead}"
+            );
+        }
+    }
+}

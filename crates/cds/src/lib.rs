@@ -25,8 +25,11 @@
 //!   greedy grow,
 //!
 //! plus a validity-preserving [`prune`] post-pass (an extension beyond the
-//! paper), the generic connector routines in [`connect`], and
-//! backbone-routing stretch measurement in [`routing`].
+//! paper), the generic connector routines in [`connect`],
+//! backbone-routing stretch measurement in [`routing`], and the
+//! fault-tolerant `(k,m)` backbone family in [`fault`] — m-fold
+//! domination and 2-connectivity augmentation reachable through
+//! [`Solver::m`] and [`Solver::biconnect`].
 //!
 //! # The [`Solver`] entry point
 //!
@@ -79,11 +82,13 @@ mod waf;
 pub mod accounting;
 pub mod algorithms;
 pub mod connect;
+pub mod fault;
 pub mod prune;
 pub mod routing;
 
 pub use algorithms::{parse_selector, Algorithm, UnknownAlgorithm};
 pub use error::CdsError;
+pub use fault::{fault_tolerant_cds, m_fold_dominators};
 pub use greedy::{greedy_cds, greedy_cds_rooted};
 pub use growth::greedy_growth_cds;
 pub use result::{check_cds, Cds};

@@ -31,7 +31,7 @@ use mcds_graph::Graph;
 use mcds_mis::{variants, BfsMis};
 
 use crate::algorithms::Algorithm;
-use crate::{connect, growth, prune, setcover, waf, Cds, CdsError};
+use crate::{connect, fault, growth, prune, setcover, waf, Cds, CdsError};
 
 /// Wall-clock time spent in each stage of a solve (all zero unless
 /// [`Solver::timings`] was enabled).
@@ -48,6 +48,8 @@ pub struct PhaseTimings {
     pub phase1: Duration,
     /// Phase 2 — connector selection.
     pub phase2: Duration,
+    /// The 2-connectivity augmentation pass ([`Solver::biconnect`]).
+    pub augment: Duration,
     /// Post-verification against the reference predicates.
     pub verify: Duration,
     /// The pruning post-pass.
@@ -57,7 +59,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total accounted time across all stages.
     pub fn total(&self) -> Duration {
-        self.build + self.phase1 + self.phase2 + self.verify + self.prune
+        self.build + self.phase1 + self.phase2 + self.augment + self.verify + self.prune
     }
 }
 
@@ -100,6 +102,8 @@ pub struct Solver {
     prune: bool,
     verify: bool,
     timings: bool,
+    m: usize,
+    biconnect: bool,
 }
 
 impl Solver {
@@ -111,6 +115,8 @@ impl Solver {
             prune: false,
             verify: false,
             timings: false,
+            m: 1,
+            biconnect: false,
         }
     }
 
@@ -145,6 +151,38 @@ impl Solver {
         self
     }
 
+    /// Requests an m-fold dominating backbone: every non-backbone node
+    /// must be covered by at least `m` dominators, so any `m − 1`
+    /// dominator failures leave every client covered.
+    ///
+    /// `m = 1` (the default) runs the configured [`Algorithm`]
+    /// unchanged.  For `m ≥ 2` the two phases route through the
+    /// generalized constructions in [`crate::fault`] — the node-weighted
+    /// m-fold greedy and the weighted max-gain connectors — regardless
+    /// of the configured algorithm, which then only labels the result.
+    /// The configured root is validated but not used by this family.
+    ///
+    /// # Panics
+    ///
+    /// If `m` is outside `1..=3` (the family the differential suite
+    /// covers; higher folds exceed what a unit-disk neighborhood can
+    /// promise).
+    pub fn m(mut self, m: usize) -> Self {
+        assert!((1..=3).contains(&m), "m must be in 1..=3, got {m}");
+        self.m = m;
+        self
+    }
+
+    /// Appends the 2-connectivity augmentation pass
+    /// ([`crate::fault::biconnect_augment`]) after phase 2, producing a
+    /// `(2,m)` backbone that survives any single node failure with
+    /// connectivity intact.  Fails with [`CdsError::NotBiconnected`]
+    /// when the input graph itself has an unavoidable cut vertex.
+    pub fn biconnect(mut self, on: bool) -> Self {
+        self.biconnect = on;
+        self
+    }
+
     /// The configured algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -161,7 +199,10 @@ impl Solver {
     ///   the construction produced an invalid set (a bug, not an input
     ///   condition),
     /// * [`CdsError::Stalled`] if connector selection wedges (likewise
-    ///   impossible on valid inputs).
+    ///   impossible on valid inputs),
+    /// * [`CdsError::NotBiconnected`] if [`Solver::biconnect`] is set
+    ///   but the graph's own cut vertices make a 2-connected backbone
+    ///   impossible.
     pub fn solve(&self, g: &Graph) -> Result<Solution, CdsError> {
         let n = g.num_nodes();
         if n == 0 {
@@ -177,7 +218,93 @@ impl Solver {
         let mut watch = Stopwatch::new(self.timings);
         let mut timings = PhaseTimings::default();
 
-        let (dominators, connectors) = match self.algorithm {
+        let (dominators, mut connectors) = if self.m > 1 {
+            // The fault-tolerant family: phases route through the
+            // generalized m-fold constructions (see `Solver::m`).
+            let pre = mcds_obs::span("solve.precheck");
+            if !g.is_connected() {
+                return Err(CdsError::DisconnectedGraph);
+            }
+            drop(pre);
+            let weights = vec![1u64; n];
+            let p1 = mcds_obs::span("solve.phase1");
+            let doms = fault::weighted_m_fold_dominators(g, &weights, self.m)?;
+            drop(p1);
+            timings.phase1 = watch.lap();
+            let p2 = mcds_obs::span("solve.phase2");
+            let conn = fault::weighted_max_gain_connectors(g, &doms, &weights)?;
+            drop(p2);
+            timings.phase2 = watch.lap();
+            (doms, conn)
+        } else {
+            self.base_phases(g, root, &mut watch, &mut timings)?
+        };
+        if self.biconnect {
+            let a = mcds_obs::span("solve.augment");
+            let nodes: Vec<usize> =
+                mcds_graph::node_set(dominators.iter().chain(&connectors).copied());
+            let augmented = fault::biconnect_augment(g, &nodes)?;
+            let dom_mask = mcds_graph::node_mask(n, &dominators);
+            connectors = augmented.into_iter().filter(|&v| !dom_mask[v]).collect();
+            drop(a);
+            timings.augment = watch.lap();
+        }
+        mcds_obs::counter!("solve.runs");
+        mcds_obs::counter!("solve.dominators", dominators.len() as u64);
+        mcds_obs::counter!("solve.connectors", connectors.len() as u64);
+
+        let mut cds = Cds::new(dominators, connectors);
+        if self.verify {
+            let v = mcds_obs::span("solve.verify");
+            if self.m > 1 || self.biconnect {
+                fault::check_m_cds(g, cds.nodes(), self.m)?;
+                if self.biconnect {
+                    fault::check_biconnected(g, cds.nodes())?;
+                }
+            } else {
+                cds.verify(g)?;
+            }
+            drop(v);
+            timings.verify = watch.lap();
+        }
+        let mut pruned_from = None;
+        if self.prune {
+            let p = mcds_obs::span("solve.prune");
+            let kept = if self.m > 1 || self.biconnect {
+                fault::prune_m_cds(g, cds.nodes(), self.m, self.biconnect)?
+            } else {
+                prune::prune_cds(g, cds.nodes())?
+            };
+            if kept.len() < cds.len() {
+                pruned_from = Some(cds.len());
+                mcds_obs::counter!("prune.removed", (cds.len() - kept.len()) as u64);
+                let keep = |v: &&usize| kept.binary_search(v).is_ok();
+                cds = Cds::new(
+                    cds.dominators().iter().filter(keep).copied().collect(),
+                    cds.connectors().iter().filter(keep).copied().collect(),
+                );
+            }
+            drop(p);
+            timings.prune = watch.lap();
+        }
+
+        Ok(Solution {
+            algorithm: self.algorithm,
+            cds,
+            timings,
+            pruned_from,
+        })
+    }
+
+    /// The classic (m = 1) phase pair for the configured algorithm.
+    fn base_phases(
+        &self,
+        g: &Graph,
+        root: usize,
+        watch: &mut Stopwatch,
+        timings: &mut PhaseTimings,
+    ) -> Result<(Vec<usize>, Vec<usize>), CdsError> {
+        Ok(match self.algorithm {
             Algorithm::WafTree => {
                 let p1 = mcds_obs::span("solve.phase1");
                 let phase1 = BfsMis::compute(g, root);
@@ -262,40 +389,6 @@ impl Solver {
                 timings.phase1 = watch.lap();
                 (set, Vec::new())
             }
-        };
-        mcds_obs::counter!("solve.runs");
-        mcds_obs::counter!("solve.dominators", dominators.len() as u64);
-        mcds_obs::counter!("solve.connectors", connectors.len() as u64);
-
-        let mut cds = Cds::new(dominators, connectors);
-        if self.verify {
-            let v = mcds_obs::span("solve.verify");
-            cds.verify(g)?;
-            drop(v);
-            timings.verify = watch.lap();
-        }
-        let mut pruned_from = None;
-        if self.prune {
-            let p = mcds_obs::span("solve.prune");
-            let kept = prune::prune_cds(g, cds.nodes())?;
-            if kept.len() < cds.len() {
-                pruned_from = Some(cds.len());
-                mcds_obs::counter!("prune.removed", (cds.len() - kept.len()) as u64);
-                let keep = |v: &&usize| kept.binary_search(v).is_ok();
-                cds = Cds::new(
-                    cds.dominators().iter().filter(keep).copied().collect(),
-                    cds.connectors().iter().filter(keep).copied().collect(),
-                );
-            }
-            drop(p);
-            timings.prune = watch.lap();
-        }
-
-        Ok(Solution {
-            algorithm: self.algorithm,
-            cds,
-            timings,
-            pruned_from,
         })
     }
 }
@@ -495,6 +588,66 @@ mod tests {
         assert_eq!(sol.ratio_bound(), Algorithm::WafTree.ratio_bound());
         let sol = Solver::new(Algorithm::GreedyGrowth).solve(&g).unwrap();
         assert_eq!(sol.ratio_bound(), None);
+    }
+
+    #[test]
+    fn fault_tolerant_family_through_the_builder() {
+        let g = gnarly();
+        for m in 1..=3 {
+            for biconnect in [false, true] {
+                let sol = Solver::new(Algorithm::GreedyConnect)
+                    .m(m)
+                    .biconnect(biconnect)
+                    .verify(true)
+                    .prune(true)
+                    .solve(&g)
+                    .unwrap();
+                assert!(
+                    crate::fault::check_m_cds(&g, sol.nodes(), m).is_ok(),
+                    "m={m} biconnect={biconnect}"
+                );
+                if biconnect {
+                    assert!(
+                        crate::fault::check_biconnected(&g, sol.nodes()).is_ok(),
+                        "m={m}"
+                    );
+                }
+                // Roles stay a partition after m-aware pruning.
+                let rebuilt: Vec<usize> = mcds_graph::node_set(
+                    sol.cds()
+                        .dominators()
+                        .iter()
+                        .chain(sol.cds().connectors())
+                        .copied(),
+                );
+                assert_eq!(rebuilt, sol.nodes(), "m={m} biconnect={biconnect}");
+            }
+        }
+        // The m = 1, no-augmentation configuration must stay bit-identical
+        // to the classic path (the determinism contract).
+        let classic = Solver::new(Algorithm::GreedyConnect).solve(&g).unwrap();
+        let via_m = Solver::new(Algorithm::GreedyConnect)
+            .m(1)
+            .solve(&g)
+            .unwrap();
+        assert_eq!(classic.cds(), via_m.cds());
+    }
+
+    #[test]
+    fn biconnect_fails_typed_on_graphs_with_cut_vertices() {
+        // Every backbone of a path must cross its interior cut vertices.
+        let g = Graph::path(8);
+        let err = Solver::new(Algorithm::GreedyConnect)
+            .biconnect(true)
+            .solve(&g)
+            .unwrap_err();
+        assert!(matches!(err, CdsError::NotBiconnected { .. }), "{err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be in 1..=3")]
+    fn out_of_family_m_panics() {
+        let _ = Solver::new(Algorithm::WafTree).m(4);
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //! * [`oracle`] — the differential oracle: random UDGs small enough for
 //!   [`mcds_exact::brute`] are solved exactly and every approximation
 //!   algorithm is checked for validity and for the paper's ratio bounds
-//!   (Theorems 8 and 10).
+//!   (Theorems 8 and 10);
+//! * [`fault`] — the same treatment for the fault-tolerant `(k, m)`
+//!   backbone family: `(1, m)` and `(2, m)` outputs are checked against
+//!   the independent exact-side predicates
+//!   ([`mcds_exact::is_m_dominating`], [`mcds_exact::is_biconnected`])
+//!   and the exact `(1, 2)`-CDS optimum on small instances.
 //!
 //! # Determinism contract
 //!
@@ -64,6 +69,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod corpus;
+pub mod fault;
 pub mod gen;
 pub mod oracle;
 pub mod runner;

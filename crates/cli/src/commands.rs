@@ -2,12 +2,13 @@
 
 use crate::args::Args;
 use crate::CliError;
-use mcds_bench::sweeps::{mean_timings, ms, timed_trials, Cell};
+use mcds_bench::sweeps::{mean_timings, ms, timed_family_trials, timed_trials, Cell};
 use mcds_cds::algorithms::Algorithm;
 use mcds_cds::Solver;
 use mcds_graph::{dot, properties, traversal};
 use mcds_maintain::{
-    waypoint_epoch, ChurnConfig, ChurnGen, MaintainConfig, Maintainer, StabilityMetrics,
+    waypoint_epoch, ChurnConfig, ChurnGen, FaultConfig, FaultGen, MaintainConfig, Maintainer,
+    StabilityMetrics, TopologyEvent,
 };
 use mcds_rng::rngs::StdRng;
 use mcds_rng::SeedableRng;
@@ -101,30 +102,50 @@ fn configure_pool(args: &Args) -> Result<usize, CliError> {
     Ok(threads)
 }
 
+/// Parses `--m` (m-fold domination level) with the [`Solver::m`] range
+/// turned into a usage error instead of a builder panic.
+fn parse_m(args: &Args) -> Result<usize, CliError> {
+    let m: usize = args.parsed_or("m", 1)?;
+    if !(1..=3).contains(&m) {
+        return Err(CliError::Usage(format!("--m must be 1, 2, or 3 (got {m})")));
+    }
+    Ok(m)
+}
+
 /// `solve`: run the CDS algorithms.
 pub fn solve(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["alg", "dot", "svg", "threads"],
-        &["prune", "timings"],
+        &["alg", "dot", "svg", "threads", "m"],
+        &["prune", "timings", "biconnect"],
     )?;
     let udg = load(&args)?;
     let g = udg.graph();
     configure_pool(&args)?;
     let algs = algorithms_for(args.value("alg").unwrap_or("greedy"))?;
     let show_timings = args.switch("timings");
+    let m = parse_m(&args)?;
+    let biconnect = args.switch("biconnect");
     let mut last: Option<(Algorithm, mcds_cds::Cds)> = None;
     for alg in &algs {
         let solution = Solver::new(*alg)
             .verify(true)
             .prune(args.switch("prune"))
             .timings(show_timings)
+            .m(m)
+            .biconnect(biconnect)
             .solve(g)
             .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
-        let suffix = match solution.pruned_from() {
+        let mut suffix = match solution.pruned_from() {
             Some(orig) => format!(" (pruned from {orig})"),
             None => String::new(),
         };
+        if m > 1 || biconnect {
+            suffix.push_str(&format!(
+                " [({},{m}) backbone]",
+                if biconnect { 2 } else { 1 }
+            ));
+        }
         println!(
             "{:<8} |CDS| = {:<4} ({} dominators + {} connectors){}",
             alg.name(),
@@ -136,9 +157,10 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
         if show_timings {
             let t = solution.timings();
             println!(
-                "         phase1 {} ms, phase2 {} ms, verify {} ms, prune {} ms",
+                "         phase1 {} ms, phase2 {} ms, augment {} ms, verify {} ms, prune {} ms",
                 ms(t.phase1),
                 ms(t.phase2),
+                ms(t.augment),
                 ms(t.verify),
                 ms(t.prune)
             );
@@ -182,8 +204,8 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
 pub fn sweep(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["alg", "n", "side", "trials", "seed", "threads", "out"],
-        &[],
+        &["alg", "n", "side", "trials", "seed", "threads", "out", "m"],
+        &["biconnect"],
     )?;
     let n: usize = args.parsed_or("n", 200)?;
     let side: f64 = args.parsed_or("side", 8.0)?;
@@ -194,6 +216,8 @@ pub fn sweep(argv: &[String]) -> Result<(), CliError> {
             "sweep needs --n >= 1 and --trials >= 1".into(),
         ));
     }
+    let m = parse_m(&args)?;
+    let biconnect = args.switch("biconnect");
     let threads = configure_pool(&args)?;
     let algs = algorithms_for(args.value("alg").unwrap_or("all"))?;
     let cell = Cell {
@@ -204,20 +228,32 @@ pub fn sweep(argv: &[String]) -> Result<(), CliError> {
     println!("sweep: {trials} trial(s) of n={n}, side={side}, seed={seed} on {threads} thread(s)");
     let mut rows: Vec<String> = vec!["alg,trial,n,size".into()];
     for alg in algs {
-        let ts = timed_trials(alg, cell, seed);
+        let ts = if m == 1 && !biconnect {
+            timed_trials(alg, cell, seed)
+        } else {
+            timed_family_trials(alg, cell, seed, m, biconnect)
+        };
         if ts.is_empty() {
             println!("{:<8} no usable instances in this cell", alg.name());
             continue;
         }
+        if biconnect && ts.len() < trials {
+            println!(
+                "{:<8} {} of {trials} instance(s) skipped (not 2-connectable)",
+                alg.name(),
+                trials - ts.len()
+            );
+        }
         let mean_size = ts.iter().map(|t| t.solution.len() as f64).sum::<f64>() / ts.len() as f64;
         let t = mean_timings(&ts);
         println!(
-            "{:<8} mean |CDS| {:>7.2}  gen {:>8} ms  phase1 {:>8} ms  phase2 {:>8} ms  verify {:>8} ms",
+            "{:<8} mean |CDS| {:>7.2}  gen {:>8} ms  phase1 {:>8} ms  phase2 {:>8} ms  augment {:>8} ms  verify {:>8} ms",
             alg.name(),
             mean_size,
             ms(t.build),
             ms(t.phase1),
             ms(t.phase2),
+            ms(t.augment),
             ms(t.verify)
         );
         for (i, trial) in ts.iter().enumerate() {
@@ -523,6 +559,10 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
             "pause",
             "dt",
             "threads",
+            "m",
+            "fault-every",
+            "fault-radius",
+            "fault-kill",
         ],
         &["waypoint", "verbose"],
     )?;
@@ -533,11 +573,29 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
     configure_pool(&args)?;
     let drift: f64 = args.parsed_or("drift", 1.75)?;
     let verbose = args.switch("verbose");
+    let m = parse_m(&args)?;
+    let fault_every: usize = args.parsed_or("fault-every", 0)?;
+    let fault_radius: f64 = args.parsed_or("fault-radius", 1.5)?;
+    let fault_kill: usize = args.parsed_or("fault-kill", 3)?;
+    if fault_every > 0 && args.switch("waypoint") {
+        return Err(CliError::Usage(
+            "fault injection needs the synthetic churn mode (drop --waypoint)".into(),
+        ));
+    }
+    if args.value("fault-radius").is_some() && !(fault_radius.is_finite() && fault_radius > 0.0) {
+        return Err(CliError::Usage(
+            "--fault-radius must be positive and finite".into(),
+        ));
+    }
+    if args.value("fault-kill").is_some() && fault_kill == 0 {
+        return Err(CliError::Usage("--fault-kill must be at least 1".into()));
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let region = mcds_geom::Aabb::square(side);
     let maintain_cfg = MaintainConfig {
         drift_threshold: drift,
+        m,
         ..MaintainConfig::default()
     };
     let mut metrics = StabilityMetrics::new();
@@ -583,15 +641,51 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
             min_population: 4,
         };
         let mut source = ChurnGen::new(churn_cfg);
+        let mut faults = (fault_every > 0).then(|| {
+            FaultGen::new(FaultConfig {
+                radius: fault_radius,
+                batch: fault_kill,
+                min_population: 4,
+            })
+        });
         let pts = gen::uniform_in_square(&mut rng, n, side);
         engine = Maintainer::with_population(maintain_cfg, pts);
-        for _ in 0..events {
-            let event = source.next_event(&mut rng, &engine.alive());
-            let report = engine.apply(event);
-            if verbose {
-                print_report(&report);
+        let mut applied = 0usize;
+        let mut slot = 0usize;
+        // Alternate the two failure models on successive fault slots so a
+        // single run exercises both correlated and independent deaths.
+        let mut regional = true;
+        while applied < events {
+            slot += 1;
+            let mut burst: Vec<TopologyEvent> = Vec::new();
+            if let Some(f) = faults.as_mut() {
+                if slot.is_multiple_of(fault_every) {
+                    let alive = engine.alive();
+                    burst = if regional {
+                        f.regional_kill(&mut rng, &alive)
+                    } else {
+                        f.batch_kill(&mut rng, &alive)
+                    };
+                    regional = !regional;
+                }
             }
-            metrics.record(&report);
+            if burst.is_empty() {
+                // Ordinary churn slot (or a fault burst suppressed by the
+                // population floor — fall back to churn so the loop always
+                // makes progress).
+                burst.push(source.next_event(&mut rng, &engine.alive()));
+            }
+            for event in burst {
+                if applied == events {
+                    break;
+                }
+                let report = engine.apply(event);
+                if verbose {
+                    print_report(&report);
+                }
+                metrics.record(&report);
+                applied += 1;
+            }
         }
     }
 
@@ -613,6 +707,10 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
         "survival          mean {:.3}, min {:.3}",
         metrics.mean_survival(),
         metrics.survival_min
+    );
+    println!(
+        "violations        {} undominated node(s) across {} event(s)",
+        metrics.violations_sum, metrics.violated_events
     );
     println!(
         "locality          ≤10% {}, ≤25% {}, ≤50% {}, >50% {}",
@@ -908,6 +1006,100 @@ mod tests {
         ));
         assert!(matches!(
             sweep(&sv(&["--trials", "0"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn solve_fault_tolerant_family_flags() {
+        let f = tmp("inst_family.udg");
+        gen(&sv(&[
+            "--n",
+            "50",
+            "--side",
+            "3.5",
+            "--seed",
+            "21",
+            "--connected",
+            "-o",
+            &f,
+        ]))
+        .unwrap();
+        solve(&sv(&[&f, "--m", "2", "--timings"])).unwrap();
+        // --biconnect on an instance with an unavoidable cut vertex is a
+        // runtime error, not a crash; on a 2-connected one it succeeds.
+        // Either way the command must not panic.
+        match solve(&sv(&[&f, "--m", "2", "--biconnect"])) {
+            Ok(()) | Err(CliError::Runtime(_)) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(matches!(
+            solve(&sv(&[&f, "--m", "5"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            solve(&sv(&[&f, "--m", "0"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_family_flags() {
+        let out = tmp("sweep_family.csv");
+        sweep(&sv(&[
+            "--alg",
+            "greedy",
+            "--n",
+            "30",
+            "--side",
+            "3",
+            "--trials",
+            "3",
+            "--seed",
+            "7",
+            "--m",
+            "2",
+            "--biconnect",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&out).unwrap();
+        assert!(csv.starts_with("alg,trial,n,size"));
+        assert!(matches!(sweep(&sv(&["--m", "4"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn churn_with_fault_injection() {
+        churn(&sv(&[
+            "--n",
+            "60",
+            "--side",
+            "4",
+            "--seed",
+            "3",
+            "--events",
+            "40",
+            "--m",
+            "2",
+            "--fault-every",
+            "5",
+            "--fault-kill",
+            "2",
+            "--fault-radius",
+            "1.0",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            churn(&sv(&["--waypoint", "--fault-every", "2"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            churn(&sv(&["--fault-every", "2", "--fault-kill", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            churn(&sv(&["--fault-every", "2", "--fault-radius", "-1"])),
             Err(CliError::Usage(_))
         ));
     }

@@ -117,9 +117,10 @@ usage:
                   [--connected] -o FILE
   mcds-cli stats  FILE
   mcds-cli solve  FILE [--alg greedy|waf|chvatal|arb-mis|gk-grow|all] [--prune]
-                  [--timings] [--threads T] [--dot FILE] [--svg FILE]
+                  [--timings] [--m 1|2|3] [--biconnect] [--threads T]
+                  [--dot FILE] [--svg FILE]
   mcds-cli sweep  [--alg NAME|all] [--n N] [--side S] [--trials T] [--seed SEED]
-                  [--threads T] [--out FILE]
+                  [--m 1|2|3] [--biconnect] [--threads T] [--out FILE]
   mcds-cli exact  FILE [--budget STEPS]
   mcds-cli verify FILE --nodes a,b,c
   mcds-cli dist   FILE
@@ -128,7 +129,9 @@ usage:
   mcds-cli route  FILE --from A --to B [--alg NAME]
   mcds-cli broadcast FILE [--source S] [--alg NAME]
   mcds-cli churn  [--n N] [--side S] [--seed SEED] [--events E] [--drift F]
-                  [--p-join P] [--p-leave P] [--move-radius R] [--threads T] [--verbose]
+                  [--p-join P] [--p-leave P] [--move-radius R] [--m 1|2|3]
+                  [--fault-every K] [--fault-radius R] [--fault-kill B]
+                  [--threads T] [--verbose]
                   [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]
   mcds-cli trace  summarize|check FILE.jsonl
 

@@ -15,6 +15,11 @@
 //!   an uncovered vertex,
 //! * [`min_connected_dominating_set`] — iterative deepening over the CDS
 //!   size with domination-based pruning,
+//! * [`min_12cds`] — exact minimum (1,2)-CDS (connected, 2-fold
+//!   dominating) for the fault-tolerant backbone family (n ≈ 14),
+//! * [`is_m_dominating`] / [`is_biconnected`] — the m-fold domination
+//!   and 2-connectivity ground-truth checkers the differential suite
+//!   verifies fault-tolerant backbones against,
 //! * [`brute`] — exhaustive `O(2ⁿ)` reference solvers for cross-checks,
 //! * budgeted variants (`try_*`) that abandon the search after a step
 //!   limit, for use inside experiment sweeps.
@@ -35,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod domination;
+mod fault;
 mod independence;
 mod wide;
 
@@ -44,6 +50,7 @@ pub use domination::{
     connected_domination_number, domination_number, min_connected_dominating_set,
     min_dominating_set, try_min_connected_dominating_set, try_min_dominating_set,
 };
+pub use fault::{is_biconnected, is_m_dominating, min_12cds, try_min_12cds};
 pub use independence::{independence_number, max_independent_set, try_max_independent_set};
 
 /// Budgeted exact maximum independent set for graphs of *any* size:

@@ -24,6 +24,18 @@
 //! decision, size vs. baseline, wall time), and every maintained set is
 //! checked against
 //! [`mcds_graph::properties::is_connected_dominating_set`].
+//!
+//! # Fault tolerance
+//!
+//! With [`MaintainConfig::m`] above 1 the engine maintains a `(1, m)`
+//! backbone instead (see [`mcds_cds::fault`]): every giant-component
+//! node outside the backbone keeps at least `m` backbone neighbors, so
+//! single dominator deaths — and the correlated bursts of
+//! [`crate::FaultGen`] — tend to leave coverage intact.  Each report
+//! counts the contract [`RepairReport::violations`] the event caused
+//! *before* repair, which is the robustness metric experiment E22
+//! compares across `m`.  Fallbacks to a full recompute are visible in
+//! the reason-tagged `maintain.recompute.*` counters of [`mcds_obs`].
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -50,6 +62,11 @@ pub struct MaintainConfig {
     /// recompute if verification fails (cheap; leave on outside of
     /// benchmarks chasing the last microsecond).
     pub verify: bool,
+    /// Domination multiplicity of the maintained backbone: nodes outside
+    /// it must keep at least `m` backbone neighbors (`1..=3`).  `1` is
+    /// the paper's classic CDS; `2` and `3` are the fault-tolerant
+    /// `(1, m)` contracts of [`mcds_cds::fault`].
+    pub m: usize,
 }
 
 impl Default for MaintainConfig {
@@ -58,6 +75,7 @@ impl Default for MaintainConfig {
             radius: 1.0,
             drift_threshold: 1.75,
             verify: true,
+            m: 1,
         }
     }
 }
@@ -76,6 +94,33 @@ pub enum RecomputeReason {
     /// The repaired set was valid but drifted past
     /// [`MaintainConfig::drift_threshold`] × the fresh baseline.
     Drift,
+}
+
+impl RecomputeReason {
+    /// Stable lowercase label — the suffix of the reason-tagged
+    /// `maintain.recompute.*` counters and the CSV value experiments
+    /// emit.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecomputeReason::ColdStart => "cold_start",
+            RecomputeReason::Stalled => "stalled",
+            RecomputeReason::Invalid => "invalid",
+            RecomputeReason::Drift => "drift",
+        }
+    }
+}
+
+/// Bumps both the aggregate `maintain.recomputed` counter and the
+/// reason-tagged `maintain.recompute.<reason>` counter, so traces show
+/// *why* local repair degraded to a recompute.
+fn count_recompute(reason: RecomputeReason) {
+    mcds_obs::counter!("maintain.recomputed");
+    match reason {
+        RecomputeReason::ColdStart => mcds_obs::counter!("maintain.recompute.cold_start"),
+        RecomputeReason::Stalled => mcds_obs::counter!("maintain.recompute.stalled"),
+        RecomputeReason::Invalid => mcds_obs::counter!("maintain.recompute.invalid"),
+        RecomputeReason::Drift => mcds_obs::counter!("maintain.recompute.drift"),
+    }
 }
 
 /// The repair-vs-recompute outcome of one event.
@@ -104,6 +149,14 @@ pub struct RepairReport {
     /// Nodes in the damage region the local repair inspected — the
     /// *repair locality* (0 for recomputes decided before repair).
     pub nodes_touched: usize,
+    /// Giant-component nodes left undominated — outside the surviving
+    /// backbone with no backbone neighbor — immediately after the event,
+    /// *before* any repair ran.  Measured the same way for every
+    /// [`MaintainConfig::m`] so traces are comparable across `m`: a
+    /// valid `(1, m ≥ 2)` backbone keeps this at zero through any
+    /// single failure.  The headline robustness metric of experiment
+    /// E22.
+    pub violations: usize,
     /// Dominators promoted by this event.
     pub dominators_added: usize,
     /// Dominators demoted or lost by this event.
@@ -141,6 +194,15 @@ impl RepairReport {
             1.0
         } else {
             self.cds_size as f64 / self.baseline_size as f64
+        }
+    }
+
+    /// The degraded-mode reason when the engine fell back to a full
+    /// recompute, `None` for local repairs.
+    pub fn fallback(&self) -> Option<RecomputeReason> {
+        match self.decision {
+            RepairDecision::Recomputed(reason) => Some(reason),
+            RepairDecision::Repaired => None,
         }
     }
 }
@@ -206,6 +268,11 @@ impl Maintainer {
             cfg.drift_threshold >= 1.0,
             "drift threshold below 1 would recompute every event, got {}",
             cfg.drift_threshold
+        );
+        assert!(
+            (1..=3).contains(&cfg.m),
+            "m must be in 1..=3, got {}",
+            cfg.m
         );
         Maintainer {
             cfg,
@@ -294,10 +361,12 @@ impl Maintainer {
             .count()
     }
 
-    /// Replaces the backbone with a fresh greedy CDS of the snapshot,
+    /// Replaces the backbone with a fresh greedy CDS of the snapshot
+    /// (the `(1, m)` variant when [`MaintainConfig::m`] is above 1),
     /// returning its size.
     fn adopt_fresh(&mut self, snap: &Snapshot) -> usize {
         let cds = Solver::new(Algorithm::GreedyConnect)
+            .m(self.cfg.m)
             .solve(&snap.graph)
             .expect("giant component is connected and non-empty")
             .into_cds();
@@ -330,7 +399,7 @@ impl Maintainer {
             // valid for the empty graph.
             self.dominators.clear();
             self.connectors.clear();
-            mcds_obs::counter!("maintain.recomputed");
+            count_recompute(RecomputeReason::ColdStart);
             return RepairReport {
                 seq,
                 event,
@@ -338,6 +407,7 @@ impl Maintainer {
                 alive: 0,
                 giant: 0,
                 nodes_touched: 0,
+                violations: 0,
                 dominators_added: 0,
                 dominators_removed: prev_backbone.len(),
                 connectors_added: 0,
@@ -351,9 +421,20 @@ impl Maintainer {
             };
         };
         let baseline_size = Solver::new(Algorithm::GreedyConnect)
+            .m(self.cfg.m)
             .solve(&snap.graph)
             .expect("giant component is connected and non-empty")
             .len();
+
+        // Coverage damage before repair: how many giant nodes the
+        // surviving backbone leaves undominated.  Measured against plain
+        // domination (m = 1) for every engine so E22 can compare the
+        // same failure trace across m; a valid (1, m ≥ 2) backbone
+        // absorbs any single death with zero violations.
+        let violations = {
+            let mask = local_backbone_mask(&snap, &self.dominators, &self.connectors);
+            coverage_violations(&snap.graph, &mask, 1)
+        };
 
         // 3. Map the surviving backbone into the snapshot and repair.
         let prev_dom: Vec<NodeId> = self.dominators.clone();
@@ -391,7 +472,7 @@ impl Maintainer {
                 mcds_obs::counter!("maintain.repaired");
                 mcds_obs::observe("maintain.damage_region", nodes_touched as u64);
             }
-            RepairDecision::Recomputed(_) => mcds_obs::counter!("maintain.recomputed"),
+            RepairDecision::Recomputed(reason) => count_recompute(reason),
         }
 
         // 4. Always verify the maintained set against the snapshot.
@@ -400,7 +481,7 @@ impl Maintainer {
             .iter()
             .filter_map(|&id| snap.local(id))
             .collect();
-        let valid = properties::is_connected_dominating_set(&snap.graph, &backbone_local);
+        let valid = backbone_valid(&snap.graph, &backbone_local, self.cfg.m);
         let wall = started.elapsed();
 
         let new_backbone = self.backbone();
@@ -415,6 +496,7 @@ impl Maintainer {
             alive: self.nodes.len(),
             giant: snap.ids.len(),
             nodes_touched,
+            violations,
             dominators_added,
             dominators_removed,
             connectors_added,
@@ -495,6 +577,7 @@ impl Maintainer {
     ) -> Result<usize, RecomputeReason> {
         let g = &snap.graph;
         let n = g.num_nodes();
+        let m = self.cfg.m;
 
         // Previous roles restricted to the giant component, local
         // indices.
@@ -528,34 +611,56 @@ impl Maintainer {
         // toward the smaller id (new dominator adjacencies can only
         // involve region nodes — edges change only at the event site).
         // Dominators outside the region are immutable, so a region
-        // dominator adjacent to one must always yield.
-        for &v in &region {
-            if !is_dom[v] {
-                continue;
-            }
-            let demote = g
-                .neighbors_iter(v)
-                .any(|u| is_dom[u] && (u < v || region.binary_search(&u).is_err()));
-            if demote {
-                is_dom[v] = false;
+        // dominator adjacent to one must always yield.  Skipped for
+        // m ≥ 2: m-fold dominator sets are deliberately non-independent,
+        // so there is no independence invariant to restore.
+        if m == 1 {
+            for &v in &region {
+                if !is_dom[v] {
+                    continue;
+                }
+                let demote = g
+                    .neighbors_iter(v)
+                    .any(|u| is_dom[u] && (u < v || region.binary_search(&u).is_err()));
+                if demote {
+                    is_dom[v] = false;
+                }
             }
         }
 
-        // Phase 1b: first-fit re-election — promote undominated nodes of
-        // the widened zone in ascending id order (the first-fit tie-break
-        // of the paper's phase 1).
+        // Phase 1b: first-fit re-election — promote under-covered nodes
+        // of the widened zone in ascending id order (the first-fit
+        // tie-break of the paper's phase 1).  For m ≥ 2 a node is covered
+        // when it sits in the backbone or sees ≥ m backbone neighbors;
+        // promotion to dominator self-satisfies it and feeds coverage to
+        // later nodes of the pass.
         for &v in &check_zone {
-            let dominated = is_dom[v] || g.neighbors_iter(v).any(|u| is_dom[u]);
-            if !dominated {
+            let covered = if m == 1 {
+                is_dom[v] || g.neighbors_iter(v).any(|u| is_dom[u])
+            } else {
+                is_dom[v]
+                    || is_con[v]
+                    || g.neighbors_iter(v)
+                        .filter(|&u| is_dom[u] || is_con[u])
+                        .count()
+                        >= m
+            };
+            if !covered {
                 is_dom[v] = true;
                 is_con[v] = false;
             }
         }
 
-        // The MIS must dominate the whole component; a miss here means
+        // Coverage must hold on the whole component; a miss here means
         // the damage model was too small for this event — recompute.
-        let dom_list: Vec<usize> = (0..n).filter(|&v| is_dom[v]).collect();
-        if !properties::is_dominating_set(g, &dom_list) {
+        let coverage_ok = if m == 1 {
+            let dom_list: Vec<usize> = (0..n).filter(|&v| is_dom[v]).collect();
+            properties::is_dominating_set(g, &dom_list)
+        } else {
+            let mask: Vec<bool> = (0..n).map(|v| is_dom[v] || is_con[v]).collect();
+            coverage_violations(g, &mask, m) == 0
+        };
+        if !coverage_ok {
             return Err(RecomputeReason::Invalid);
         }
 
@@ -602,7 +707,12 @@ impl Maintainer {
                 continue;
             }
             mask[c] = false;
-            if subsets::is_connected_subset(g, &mask) {
+            // For m ≥ 2 a connector also carries coverage: it may only
+            // be dropped if it and its now-outside neighbors all keep
+            // ≥ m backbone neighbors.
+            let droppable = subsets::is_connected_subset(g, &mask)
+                && (m == 1 || drop_keeps_coverage(g, &mask, c, m));
+            if droppable {
                 is_con[c] = false;
             } else {
                 mask[c] = true;
@@ -611,7 +721,7 @@ impl Maintainer {
 
         // Verify before committing (cheap; guards analysis gaps).
         let all_local: Vec<usize> = (0..n).filter(|&v| mask[v]).collect();
-        if self.cfg.verify && !properties::is_connected_dominating_set(g, &all_local) {
+        if self.cfg.verify && !backbone_valid(g, &all_local, m) {
             return Err(RecomputeReason::Invalid);
         }
 
@@ -662,6 +772,45 @@ fn diff_count(a: &[NodeId], b: &[NodeId]) -> usize {
     a.iter().filter(|v| b.binary_search(v).is_err()).count()
 }
 
+/// Backbone membership over the snapshot's local indices.
+fn local_backbone_mask(snap: &Snapshot, dominators: &[NodeId], connectors: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; snap.graph.num_nodes()];
+    for id in dominators.iter().chain(connectors.iter()) {
+        if let Some(v) = snap.local(*id) {
+            mask[v] = true;
+        }
+    }
+    mask
+}
+
+/// Nodes of `g` outside `mask` with fewer than `m` neighbors inside it —
+/// the under-covered nodes of the `(1, m)` contract (`m = 1` recovers
+/// plain domination by the backbone).
+fn coverage_violations(g: &Graph, mask: &[bool], m: usize) -> usize {
+    (0..g.num_nodes())
+        .filter(|&v| !mask[v])
+        .filter(|&v| g.neighbors_iter(v).filter(|&u| mask[u]).count() < m)
+        .count()
+}
+
+/// Whether the coverage contract survives dropping `c` (already cleared
+/// in `mask`): `c` itself and its now-outside neighbors must all retain
+/// ≥ `m` backbone neighbors.
+fn drop_keeps_coverage(g: &Graph, mask: &[bool], c: usize, m: usize) -> bool {
+    let covered = |v: usize| g.neighbors_iter(v).filter(|&u| mask[u]).count() >= m;
+    covered(c) && g.neighbors_iter(c).filter(|&u| !mask[u]).all(covered)
+}
+
+/// m-aware validity: the classic CDS check for `m == 1`, the `(1, m)`
+/// backbone contract of [`mcds_cds::fault::check_m_cds`] otherwise.
+fn backbone_valid(g: &Graph, set: &[usize], m: usize) -> bool {
+    if m == 1 {
+        properties::is_connected_dominating_set(g, set)
+    } else {
+        mcds_cds::fault::check_m_cds(g, set, m).is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,9 +829,10 @@ mod tests {
             .filter_map(|&id| snap.local(id))
             .collect();
         assert!(
-            properties::is_connected_dominating_set(&snap.graph, &local),
-            "maintained set {:?} is not a CDS",
-            engine.backbone()
+            backbone_valid(&snap.graph, &local, engine.cfg.m),
+            "maintained set {:?} is not a valid (1, {}) backbone",
+            engine.backbone(),
+            engine.cfg.m
         );
     }
 
@@ -788,6 +938,106 @@ mod tests {
     fn bad_drift_threshold_panics() {
         let _ = Maintainer::new(MaintainConfig {
             drift_threshold: 0.5,
+            ..MaintainConfig::default()
+        });
+    }
+
+    /// A 3×3 unit-disk grid, dense enough that (1, 2) backbones leave
+    /// genuine non-backbone nodes.
+    fn grid9() -> Vec<Point> {
+        (0..9)
+            .map(|i| Point::new((i % 3) as f64 * 0.6, (i / 3) as f64 * 0.6))
+            .collect()
+    }
+
+    #[test]
+    fn coverage_violations_counts_under_covered_nodes() {
+        let g = Graph::path(4);
+        let mask = vec![true, false, false, true];
+        assert_eq!(coverage_violations(&g, &mask, 1), 0);
+        assert_eq!(coverage_violations(&g, &mask, 2), 2);
+    }
+
+    #[test]
+    fn violations_count_nodes_that_lost_domination() {
+        let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(3, 0.8));
+        // Pin a minimal valid backbone so the damage is deterministic:
+        // the center alone dominates and connects the chain.
+        engine.dominators = vec![1];
+        engine.connectors = vec![];
+        let report = engine.apply(TopologyEvent::Leave { node: 1 });
+        // The whole backbone died: the surviving giant node is uncovered.
+        assert_eq!(report.violations, 1);
+        assert_eq!(report.fallback(), Some(RecomputeReason::ColdStart));
+        assert!(report.valid);
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn m2_backbone_absorbs_any_single_failure() {
+        let cfg = MaintainConfig {
+            m: 2,
+            ..MaintainConfig::default()
+        };
+        for victim in 0..9 {
+            let mut engine = Maintainer::with_population(cfg, grid9());
+            assert_valid(&engine);
+            let report = engine.apply(TopologyEvent::Leave { node: victim });
+            // Every non-backbone node had ≥ 2 backbone neighbors, so one
+            // death cannot undominate anyone.
+            assert_eq!(report.violations, 0, "victim {victim}");
+            assert!(report.valid, "victim {victim}");
+            assert_valid(&engine);
+        }
+    }
+
+    #[test]
+    fn m2_engine_survives_a_burst_and_a_join() {
+        let cfg = MaintainConfig {
+            m: 2,
+            ..MaintainConfig::default()
+        };
+        let mut engine = Maintainer::with_population(cfg, grid9());
+        for victim in [4, 1] {
+            let report = engine.apply(TopologyEvent::Leave { node: victim });
+            assert!(report.valid, "victim {victim}");
+            assert_valid(&engine);
+        }
+        let report = engine.apply(TopologyEvent::Join {
+            pos: Point::new(0.3, 0.3),
+        });
+        assert!(report.valid);
+        assert_valid(&engine);
+    }
+
+    #[test]
+    fn fallback_reasons_reach_the_counters() {
+        assert_eq!(RecomputeReason::Drift.name(), "drift");
+        mcds_obs::test_support::with_enabled(true, || {
+            let recomputed = mcds_obs::counter_value("maintain.recomputed");
+            let cold = mcds_obs::counter_value("maintain.recompute.cold_start");
+            let mut engine = Maintainer::with_population(MaintainConfig::default(), chain(3, 0.8));
+            engine.dominators = vec![1];
+            engine.connectors = vec![];
+            let report = engine.apply(TopologyEvent::Leave { node: 1 });
+            assert_eq!(report.fallback(), Some(RecomputeReason::ColdStart));
+            assert_eq!(
+                mcds_obs::counter_value("maintain.recompute.cold_start"),
+                cold + 1,
+                "the reason-tagged counter must fire with the fallback"
+            );
+            assert_eq!(
+                mcds_obs::counter_value("maintain.recomputed"),
+                recomputed + 1
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be in 1..=3")]
+    fn bad_m_panics() {
+        let _ = Maintainer::new(MaintainConfig {
+            m: 0,
             ..MaintainConfig::default()
         });
     }

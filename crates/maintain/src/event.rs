@@ -168,6 +168,136 @@ impl ChurnGen {
     }
 }
 
+/// Shape of injected failures.
+///
+/// Unlike [`ChurnConfig`]'s one-event-at-a-time churn, a fault is a
+/// *correlated burst*: several nodes die in the same instant, either
+/// because they share a location (a jammed or powered-down region) or
+/// because they share a fate chosen at random (a firmware batch).  Both
+/// kinds honor the same population floor as churn so injection cannot
+/// drain the network.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Radius of a regional kill: every node within this distance of the
+    /// (randomly chosen) epicenter dies.
+    pub radius: f64,
+    /// Number of victims of a batch kill.
+    pub batch: usize,
+    /// Kills are truncated so the population never drops below this floor.
+    pub min_population: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            radius: 1.5,
+            batch: 3,
+            min_population: 4,
+        }
+    }
+}
+
+/// A seeded failure injector emitting correlated kill bursts.
+///
+/// Each call draws one burst against the caller's current population and
+/// returns it as a batch of [`TopologyEvent::Leave`]s, to be applied
+/// back-to-back — the engine sees the network *after* the whole burst
+/// only once repairs start, which is exactly the regime `(k, m)`
+/// backbones are built for.
+///
+/// ```
+/// use mcds_maintain::{FaultConfig, FaultGen, TopologyEvent};
+/// use mcds_rng::{rngs::StdRng, SeedableRng};
+/// use mcds_geom::Point;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut faults = FaultGen::new(FaultConfig { min_population: 0, ..FaultConfig::default() });
+/// let alive = vec![(0, Point::new(1.0, 1.0)), (1, Point::new(1.5, 1.0))];
+/// let burst = faults.regional_kill(&mut rng, &alive);
+/// assert!(burst.iter().all(|e| matches!(e, TopologyEvent::Leave { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultGen {
+    cfg: FaultConfig,
+}
+
+impl FaultGen {
+    /// Creates an injector with the given burst shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite or `batch` is zero.
+    pub fn new(cfg: FaultConfig) -> Self {
+        assert!(
+            cfg.radius.is_finite() && cfg.radius > 0.0,
+            "fault radius must be positive and finite, got {}",
+            cfg.radius
+        );
+        assert!(cfg.batch > 0, "batch kill size must be at least 1");
+        FaultGen { cfg }
+    }
+
+    /// The injector's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// How many victims a burst may claim before hitting the floor.
+    fn kill_allowance(&self, alive: &[(NodeId, Point)]) -> usize {
+        alive.len().saturating_sub(self.cfg.min_population)
+    }
+
+    /// Kills every node within [`FaultConfig::radius`] of a randomly
+    /// chosen alive epicenter (the epicenter included).
+    ///
+    /// Victims are listed nearest-the-epicenter first, so when the
+    /// population floor truncates the burst the surviving kills are still
+    /// spatially correlated.  Returns an empty burst when the population
+    /// is at or below the floor.
+    pub fn regional_kill<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        alive: &[(NodeId, Point)],
+    ) -> Vec<TopologyEvent> {
+        let allowed = self.kill_allowance(alive);
+        if allowed == 0 {
+            return Vec::new();
+        }
+        let (_, center) = alive[rng.gen_range(0..alive.len())];
+        let mut victims: Vec<(NodeId, f64)> = alive
+            .iter()
+            .filter(|(_, pos)| pos.dist(center) <= self.cfg.radius)
+            .map(|&(id, pos)| (id, pos.dist(center)))
+            .collect();
+        victims.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        victims.truncate(allowed);
+        victims
+            .into_iter()
+            .map(|(node, _)| TopologyEvent::Leave { node })
+            .collect()
+    }
+
+    /// Kills [`FaultConfig::batch`] distinct nodes chosen uniformly at
+    /// random (fewer near the population floor; none at or below it).
+    pub fn batch_kill<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        alive: &[(NodeId, Point)],
+    ) -> Vec<TopologyEvent> {
+        let kills = self.cfg.batch.min(self.kill_allowance(alive));
+        let mut pool: Vec<NodeId> = alive.iter().map(|&(id, _)| id).collect();
+        // Partial Fisher–Yates: the first `kills` slots become the victims.
+        for i in 0..kills {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(kills);
+        pool.into_iter()
+            .map(|node| TopologyEvent::Leave { node })
+            .collect()
+    }
+}
+
 /// Advances a random-waypoint walk by `dt` and emits one
 /// [`TopologyEvent::Move`] per node that changed position.
 ///
@@ -284,6 +414,84 @@ mod tests {
             p_join: 0.8,
             p_leave: 0.5,
             ..ChurnConfig::default()
+        });
+    }
+
+    #[test]
+    fn regional_kill_is_spatially_correlated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut faults = FaultGen::new(FaultConfig {
+            radius: 1.2,
+            batch: 3,
+            min_population: 0,
+        });
+        // Two clusters 10 units apart: a burst must stay within one.
+        let mut pop = alive(5);
+        pop.extend((5..10).map(|i| (i, Point::new(10.0 + (i - 5) as f64 * 0.5, 1.0))));
+        for _ in 0..20 {
+            let burst = faults.regional_kill(&mut rng, &pop);
+            assert!(!burst.is_empty());
+            let ids: Vec<NodeId> = burst
+                .iter()
+                .map(|e| match e {
+                    TopologyEvent::Leave { node } => *node,
+                    other => panic!("faults only kill, got {other:?}"),
+                })
+                .collect();
+            assert!(
+                ids.iter().all(|&id| id < 5) || ids.iter().all(|&id| id >= 5),
+                "burst crossed clusters: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_kill_picks_distinct_victims() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut faults = FaultGen::new(FaultConfig {
+            batch: 4,
+            min_population: 0,
+            ..FaultConfig::default()
+        });
+        for _ in 0..20 {
+            let burst = faults.batch_kill(&mut rng, &alive(10));
+            assert_eq!(burst.len(), 4);
+            let mut ids: Vec<NodeId> = burst
+                .iter()
+                .map(|e| match e {
+                    TopologyEvent::Leave { node } => *node,
+                    other => panic!("faults only kill, got {other:?}"),
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 4, "victims must be distinct");
+        }
+    }
+
+    #[test]
+    fn fault_bursts_respect_the_population_floor() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut faults = FaultGen::new(FaultConfig {
+            radius: 100.0,
+            batch: 100,
+            min_population: 6,
+        });
+        let pop = alive(10);
+        for _ in 0..10 {
+            assert!(faults.regional_kill(&mut rng, &pop).len() <= 4);
+            assert_eq!(faults.batch_kill(&mut rng, &pop).len(), 4);
+        }
+        assert!(faults.regional_kill(&mut rng, &alive(6)).is_empty());
+        assert!(faults.batch_kill(&mut rng, &alive(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault radius")]
+    fn bad_fault_radius_panics() {
+        let _ = FaultGen::new(FaultConfig {
+            radius: 0.0,
+            ..FaultConfig::default()
         });
     }
 

@@ -9,8 +9,10 @@
 //! construction only when local repair is insufficient:
 //!
 //! * [`TopologyEvent`] — the churn primitives (join, leave/crash, move),
-//!   produced by the seeded synthetic [`ChurnGen`] or adapted from a
-//!   [`mcds_udg::mobility::RandomWaypoint`] walk via [`waypoint_epoch`];
+//!   produced by the seeded synthetic [`ChurnGen`], injected as
+//!   correlated failure bursts by [`FaultGen`] (regional and batch
+//!   kills), or adapted from a [`mcds_udg::mobility::RandomWaypoint`]
+//!   walk via [`waypoint_epoch`];
 //! * [`Maintainer`] — the engine: local first-fit MIS re-election
 //!   restricted to the event's 2-hop neighborhood, connector patching
 //!   with the Section-IV max-gain greedy confined to the damaged region,
@@ -24,7 +26,11 @@
 //! Every maintained set is checked against
 //! [`mcds_graph::properties::is_connected_dominating_set`] on the giant
 //! component of the live topology, so invalid intermediate states cannot
-//! survive an event unnoticed.
+//! survive an event unnoticed.  With [`MaintainConfig::m`] above 1 the
+//! engine maintains the fault-tolerant `(1, m)` backbone of
+//! [`mcds_cds::fault`] instead, and each [`RepairReport`] counts the
+//! nodes an event undominated before repair — the robustness metric the
+//! failure-injection experiment (E22) compares across `m`.
 //!
 //! # Example
 //!
@@ -64,5 +70,7 @@ mod event;
 mod metrics;
 
 pub use engine::{MaintainConfig, Maintainer, RecomputeReason, RepairDecision, RepairReport};
-pub use event::{waypoint_epoch, ChurnConfig, ChurnGen, NodeId, TopologyEvent};
+pub use event::{
+    waypoint_epoch, ChurnConfig, ChurnGen, FaultConfig, FaultGen, NodeId, TopologyEvent,
+};
 pub use metrics::StabilityMetrics;

@@ -39,6 +39,12 @@ pub struct StabilityMetrics {
     pub recomputed: [usize; 4],
     /// Events whose maintained set failed verification (should stay 0).
     pub invalid_events: usize,
+    /// Sum of [`RepairReport::violations`] — nodes an event undominated
+    /// before repair, the robustness figure of the failure-injection
+    /// experiment (E22).
+    pub violations_sum: usize,
+    /// Events that undominated at least one node before repair.
+    pub violated_events: usize,
     /// Sum of per-event survival fractions.
     pub survival_sum: f64,
     /// Minimum per-event survival fraction seen (1.0 before any event).
@@ -89,6 +95,10 @@ impl StabilityMetrics {
         }
         if !report.valid {
             self.invalid_events += 1;
+        }
+        self.violations_sum += report.violations;
+        if report.violations > 0 {
+            self.violated_events += 1;
         }
         self.survival_sum += report.survival;
         if report.survival < self.survival_min {
@@ -212,6 +222,7 @@ mod tests {
             alive: 100,
             giant: 100,
             nodes_touched: touched,
+            violations: 0,
             dominators_added: 0,
             dominators_removed: 0,
             connectors_added: 0,

@@ -17,9 +17,10 @@
 use std::time::{Duration, Instant};
 
 use mcds_check::corpus::load_dir;
-use mcds_check::oracle::{check_oracle_case, oracle_cases};
+use mcds_check::fault::check_fault_case;
+use mcds_check::oracle::{check_oracle_case, oracle_cases, OracleCase};
 use mcds_check::runner::replay_outcome;
-use mcds_check::Property;
+use mcds_check::{Property, TestResult};
 use mcds_pool::ThreadPool;
 
 /// The checked-in regression corpus next to this suite.
@@ -42,6 +43,36 @@ fn differential_oracle() {
     assert!(stats.corpus_replayed >= 1, "corpus seed case not replayed");
 }
 
+/// The fault-tolerant family oracle: the same 540-instance regime for
+/// the `(1, m)` / `(2, m)` backbones of `mcds_cds::fault` — every
+/// output checked against the independent exact-side predicates
+/// (`is_m_dominating`, `is_biconnected`), the `(1, 2)` outputs against
+/// the exact `(1, 2)`-CDS optimum, and the m-aware prune for
+/// idempotence.
+#[test]
+fn fault_tolerant_family() {
+    let stats = Property::new("fault_tolerant_family")
+        .cases(540)
+        .corpus(CORPUS_DIR)
+        .run_report(&oracle_cases(18), check_fault_case)
+        .unwrap_or_else(|failure| panic!("{}", failure.report()));
+    assert!(
+        stats.cases >= 540,
+        "ran only {} of the required 540 instances",
+        stats.cases
+    );
+    assert!(stats.corpus_replayed >= 1, "corpus seed case not replayed");
+}
+
+/// The check a corpus entry's property name maps to; new properties
+/// must register here so their persisted cases replay meaningfully.
+fn check_for(prop: &str) -> fn(&OracleCase) -> TestResult {
+    match prop {
+        "fault_tolerant_family" => check_fault_case,
+        _ => check_oracle_case,
+    }
+}
+
 /// Satellite 4's contract: a `.case` file reproduces the identical
 /// outcome at any worker-pool width.  Replays every checked-in corpus
 /// entry under pools of 1 and 4 threads and diffs the outcome strings.
@@ -53,7 +84,7 @@ fn corpus_replay_matches_at_any_thread_count() {
     let outcome_under = |threads: usize| -> Vec<String> {
         let cases: Vec<_> = entries.iter().map(|(_, c)| c.clone()).collect();
         ThreadPool::new(threads).parallel_map(cases, |_i, case| {
-            replay_outcome(&case, &gen, check_oracle_case)
+            replay_outcome(&case, &gen, check_for(&case.prop))
         })
     };
     let t1 = outcome_under(1);
