@@ -27,8 +27,14 @@
 //! violations of `m = 1` and no more recomputes — the robustness claim
 //! this experiment exists to certify.
 //!
-//! Artifacts: `exp_fault.csv`, `exp_fault.json`, and the perf-trajectory
-//! entry `BENCH_fault.json` in the output directory.
+//! A weighted row group rides along: minimum-weight backbone size and
+//! total weight on the initial topology across the
+//! [`mcds_cds::WeightScheme`]s (`exp_fault_weighted.csv`), gated on
+//! validity.
+//!
+//! Artifacts: `exp_fault.csv`, `exp_fault_weighted.csv`,
+//! `exp_fault.json`, and the perf-trajectory entry `BENCH_fault.json` in
+//! the output directory.
 //!
 //! Usage: `exp_fault [--quick] [--seed <u64>] [--out <dir>] [--threads <n>]`
 
@@ -166,6 +172,8 @@ fn main() {
     }
     table.print();
 
+    let weighted_ok = weighted_group(&cfg, &pts);
+
     if let Some(dir) = &cfg.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
         let json = to_json(n, side, events, fault_every, fault_deaths, &arms);
@@ -177,6 +185,11 @@ fn main() {
         let mut file = std::fs::File::create(&bench).expect("create BENCH_fault.json");
         write!(file, "{}", to_bench_json(cfg.seed, events, &arms)).expect("write BENCH_fault.json");
         println!("wrote {}", bench.display());
+    }
+
+    if !weighted_ok {
+        println!("RESULT: a weighted backbone failed validity — investigate!");
+        std::process::exit(1);
     }
 
     let base = &arms[0];
@@ -230,6 +243,71 @@ fn main() {
         );
         std::process::exit(1);
     }
+}
+
+/// The weighted row group: minimum-weight backbone cost on the initial
+/// topology's giant component, across the node-weight schemes of
+/// [`mcds_cds::WeightScheme`] and `m ∈ {1, 2}`.  Sizes and totals are
+/// deterministic (seeded weights, no wall time involved), so
+/// `exp_fault_weighted.csv` is a comparable artifact.  Returns whether
+/// every weighted backbone verified as a valid CDS.
+fn weighted_group(cfg: &ExpConfig, pts: &[Point]) -> bool {
+    use mcds_cds::{Algorithm, Solver, WeightScheme};
+    use mcds_graph::{properties, traversal};
+    use mcds_udg::Udg;
+
+    let udg = Udg::build(pts.to_vec());
+    let giant = traversal::largest_component(udg.graph());
+    let sub = udg.restricted_to(&giant);
+    let g = sub.graph();
+
+    println!(
+        "\nweighted backbones on the initial topology (giant component, {} nodes):\n",
+        g.num_nodes()
+    );
+    let mut table = Table::new(&["scheme", "m", "size", "total weight", "valid"]);
+    let mut csv = cfg.csv("exp_fault_weighted");
+    if let Some(w) = csv.as_mut() {
+        w.row(&["scheme", "m", "n", "size", "total_weight", "valid"]);
+    }
+    let schemes = [
+        WeightScheme::Unit,
+        WeightScheme::Degree,
+        WeightScheme::Random(cfg.seed),
+    ];
+    let mut all_valid = true;
+    for scheme in schemes {
+        for m in [1usize, 2] {
+            let cds = Solver::new(Algorithm::GreedyConnect)
+                .m(m)
+                .weight_scheme(scheme)
+                .solve(g)
+                .expect("giant component is connected")
+                .into_cds();
+            let valid = properties::is_connected_dominating_set(g, cds.nodes());
+            all_valid &= valid;
+            let total = scheme.total(g, cds.nodes());
+            table.row(&[
+                scheme.name().to_string(),
+                m.to_string(),
+                cds.len().to_string(),
+                total.to_string(),
+                valid.to_string(),
+            ]);
+            if let Some(w) = csv.as_mut() {
+                w.row(&[
+                    scheme.name().to_string(),
+                    m.to_string(),
+                    g.num_nodes().to_string(),
+                    cds.len().to_string(),
+                    total.to_string(),
+                    valid.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    all_valid
 }
 
 /// Generates the shared event trace: synthetic churn with a fault burst

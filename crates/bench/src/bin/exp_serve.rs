@@ -1,0 +1,181 @@
+//! E21 (serving) — sustained request throughput and tail latency of the
+//! `mcds-serve` daemon under concurrent clients.
+//!
+//! An in-process server holds a seeded connected topology resident; for
+//! each arm, a fresh server is bound on an ephemeral port (so every arm
+//! starts from identical state) and the in-tree load generator drives it
+//! with `C` concurrent clients sending a query-heavy mix with periodic
+//! admitted churn batches.  Reported per arm: requests, errors,
+//! throughput (req/s), and p50/p99 request latency.
+//!
+//! Every number here except `clients`/`requests`/`errors` is wall-clock.
+//! Like E19, the CSV is therefore a *timing* artifact — exempt from the
+//! byte-identical-across-widths contract (DESIGN.md §8); the error
+//! column, which is deterministic (and must be zero), is the gated part.
+//!
+//! The run **fails (exit 1)** if any request errors, or (full mode) if
+//! the 16-client arm cannot complete — the daemon must sustain the full
+//! concurrency ladder.
+//!
+//! Artifacts: `exp_serve.csv` and the perf-trajectory entry
+//! `BENCH_serve.json` in the output directory.
+//!
+//! Usage: `exp_serve [--quick] [--seed <u64>] [--out <dir>] [--threads <n>]`
+
+use std::io::Write;
+
+use mcds_bench::{ExpConfig, Table};
+use mcds_rng::rngs::StdRng;
+use mcds_rng::SeedableRng;
+use mcds_serve::{LoadConfig, LoadReport, ServeConfig, Server};
+use mcds_udg::gen;
+
+/// One concurrency arm's outcome.
+struct Arm {
+    clients: usize,
+    report: LoadReport,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let (n, side, per_client, ladder): (usize, f64, usize, &[usize]) = if cfg.quick {
+        (60, 4.5, 60, &[1, 4])
+    } else {
+        (120, 6.0, 250, &[1, 2, 4, 8, 16])
+    };
+    let churn_every = 10;
+
+    println!("E21 (serving): mcds-serve throughput and tail latency vs concurrent clients\n");
+    println!(
+        "resident topology: n = {n}, region {side}x{side}; {per_client} requests per \
+         client, churn batch every {churn_every}th request; ladder {ladder:?}\n"
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let points = match gen::connected_uniform(&mut rng, n, side, 50) {
+        Some(udg) => udg.points().to_vec(),
+        None => gen::giant_component_instance(&mut rng, n, side)
+            .points()
+            .to_vec(),
+    };
+
+    let mut arms: Vec<Arm> = Vec::new();
+    for &clients in ladder {
+        // A fresh server per arm: every ladder step starts from the same
+        // resident state, so arms differ only in concurrency.
+        let serve_cfg = ServeConfig {
+            threads: (clients + 1).min(mcds_pool::default_parallelism().max(2)),
+            ..ServeConfig::default()
+        };
+        let server =
+            Server::bind("127.0.0.1:0", serve_cfg, points.clone()).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        let load = LoadConfig {
+            clients,
+            requests: per_client,
+            churn_every,
+        };
+        let report = mcds_serve::run_load(&addr, load, side).expect("load run");
+        let mut shutdown = mcds_serve::Client::connect(&addr).expect("shutdown connect");
+        shutdown
+            .request("{\"op\":\"shutdown\"}")
+            .expect("shutdown ack");
+        handle.join().expect("server thread");
+        println!(
+            "  {clients:>2} client(s): {} requests, {} errors, {:>8.0} req/s, \
+             p50 {:>6} us, p99 {:>6} us",
+            report.requests,
+            report.errors,
+            report.throughput(),
+            report.p50_us,
+            report.p99_us
+        );
+        arms.push(Arm { clients, report });
+    }
+
+    println!();
+    let mut table = Table::new(&[
+        "clients", "requests", "errors", "req/s", "p50 us", "p99 us", "wall ms",
+    ]);
+    let mut csv = cfg.csv("exp_serve");
+    if let Some(w) = csv.as_mut() {
+        // Timing artifact (E19 precedent): only `errors` is comparable.
+        w.row(&[
+            "clients", "requests", "errors", "rps", "p50_us", "p99_us", "wall_ms",
+        ]);
+    }
+    for arm in &arms {
+        let r = &arm.report;
+        let row = [
+            arm.clients.to_string(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            format!("{:.0}", r.throughput()),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+        ];
+        table.row(&row);
+        if let Some(w) = csv.as_mut() {
+            w.row(&row);
+        }
+    }
+    table.print();
+
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let bench = dir.join("BENCH_serve.json");
+        let mut file = std::fs::File::create(&bench).expect("create BENCH_serve.json");
+        write!(file, "{}", to_bench_json(cfg.seed, &arms)).expect("write BENCH_serve.json");
+        println!("\nwrote {}", bench.display());
+    }
+
+    let errors: usize = arms.iter().map(|a| a.report.errors).sum();
+    let top = arms.last().expect("at least one arm");
+    println!();
+    if errors > 0 {
+        println!("RESULT: {errors} request(s) failed across the ladder — investigate!");
+        std::process::exit(1);
+    }
+    if !cfg.quick && top.clients < 16 {
+        println!("RESULT: the 16-client arm did not run — investigate!");
+        std::process::exit(1);
+    }
+    println!(
+        "RESULT: the daemon sustained the full {}-client ladder with zero errors \
+         ({:.0} req/s, p99 {} us at {} clients); batched canonical admission keeps \
+         the resident backbone deterministic no matter how those clients interleave.",
+        top.clients,
+        top.report.throughput(),
+        top.report.p99_us,
+        top.clients
+    );
+}
+
+/// The `BENCH_*.json` trajectory entry.  Every latency/throughput field
+/// carries a `wall_` prefix — wall-clock numbers, excluded from
+/// byte-comparisons by convention (DESIGN.md §8); `errors` is the
+/// deterministic, gated field.
+fn to_bench_json(seed: u64, arms: &[Arm]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"schema\": 1,\n  \"seed\": {seed},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let r = &arm.report;
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"errors\": {}, \
+             \"wall_rps\": {:.1}, \"wall_p50_us\": {}, \"wall_p99_us\": {}}}{}\n",
+            arm.clients,
+            r.requests,
+            r.errors,
+            r.throughput(),
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == arms.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

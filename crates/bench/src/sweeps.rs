@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use mcds_cds::{Algorithm, PhaseTimings, Solution, Solver};
+use mcds_cds::{Algorithm, PhaseTimings, Solution, Solver, WeightScheme};
 use mcds_exact::try_min_connected_dominating_set;
 use mcds_graph::{traversal, Graph};
 use mcds_mis::{bounds, BfsMis};
@@ -78,14 +78,15 @@ pub struct Trial {
 /// `build`/`phase1`/`phase2`/`verify`); sizes are deterministic, wall
 /// times of course are not.
 pub fn timed_trials(alg: Algorithm, cell: Cell, seed: u64) -> Vec<Trial> {
-    timed_family_trials(alg, cell, seed, 1, false)
+    timed_family_trials(alg, cell, seed, 1, false, WeightScheme::Unit)
 }
 
 /// [`timed_trials`] for the fault-tolerant `(k, m)` family: each trial
-/// solves with `.m(m).biconnect(biconnect)`, adding the `augment` phase
-/// to the accounting.  With `m = 1` and `biconnect` off this is exactly
-/// [`timed_trials`] (the builder defaults), preserving the bit-identical
-/// CSV contract of the classic path.
+/// solves with `.m(m).biconnect(biconnect).weight_scheme(weights)`,
+/// adding the `augment` phase to the accounting.  With `m = 1`,
+/// `biconnect` off and unit weights this is exactly [`timed_trials`]
+/// (the builder defaults), preserving the bit-identical CSV contract of
+/// the classic path.
 ///
 /// Instances the family cannot harden — `biconnect` requested but the
 /// instance has a cut vertex no augmentation can bypass — are skipped,
@@ -96,6 +97,7 @@ pub fn timed_family_trials(
     seed: u64,
     m: usize,
     biconnect: bool,
+    weights: WeightScheme,
 ) -> Vec<Trial> {
     let pool = mcds_pool::global::pool();
     pool.parallel_map((0..cell.instances).collect(), |_, i| {
@@ -107,6 +109,7 @@ pub fn timed_family_trials(
             .timings(true)
             .m(m)
             .biconnect(biconnect)
+            .weight_scheme(weights)
             .solve(udg.graph())
         {
             Ok(mut solution) => {
@@ -444,14 +447,28 @@ mod tests {
             instances: 3,
         };
         let classic = timed_trials(Algorithm::GreedyConnect, cell, 9);
-        let family = timed_family_trials(Algorithm::GreedyConnect, cell, 9, 1, false);
+        let family = timed_family_trials(
+            Algorithm::GreedyConnect,
+            cell,
+            9,
+            1,
+            false,
+            WeightScheme::Unit,
+        );
         assert_eq!(classic.len(), family.len());
         for (a, b) in classic.iter().zip(&family) {
             assert_eq!(a.solution.nodes(), b.solution.nodes());
         }
         // The hardened variants run (skipping unharden-able instances)
         // and keep the m-fold contract.
-        let hard = timed_family_trials(Algorithm::GreedyConnect, cell, 9, 2, true);
+        let hard = timed_family_trials(
+            Algorithm::GreedyConnect,
+            cell,
+            9,
+            2,
+            true,
+            WeightScheme::Unit,
+        );
         assert!(hard.len() <= cell.instances);
         for t in &hard {
             assert!(t.solution.len() >= 2, "a (2,2) backbone has >= 2 nodes");

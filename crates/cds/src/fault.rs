@@ -521,6 +521,97 @@ pub fn fault_tolerant_cds(g: &Graph, m: usize, biconnect: bool) -> Result<Cds, C
     Ok(Cds::new(dominators, connectors))
 }
 
+/// Named node-weight assignments for the minimum-weight objective
+/// ([`weighted_m_fold_dominators`] / [`weighted_max_gain_connectors`]).
+///
+/// The schemes are synthetic stand-ins for deployment costs (inverse
+/// residual energy, rental price, …): `Unit` recovers the unweighted
+/// size objective, `Degree` prices hubs proportionally to their load,
+/// and `Random` draws adversarial costs from a seed.  All three are pure
+/// functions of the graph (and the seed), so weighted runs keep the
+/// workspace determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Every node costs 1 — the classic minimum-size objective.
+    Unit,
+    /// `degree(v) + 1` — electing a hub costs what it coordinates.
+    Degree,
+    /// Pseudorandom costs in `1..=16`, derived from the seed with a
+    /// splitmix64 stream (independent of any global RNG state).
+    Random(u64),
+}
+
+/// Rejected `--weights` selector, echoing the valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWeightScheme(pub String);
+
+impl std::fmt::Display for UnknownWeightScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown weight scheme `{}` (valid: unit, degree, random)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownWeightScheme {}
+
+impl WeightScheme {
+    /// Parses a scheme selector; `seed` feeds [`WeightScheme::Random`]
+    /// and is ignored by the deterministic schemes.
+    pub fn parse(name: &str, seed: u64) -> Result<WeightScheme, UnknownWeightScheme> {
+        match name {
+            "unit" => Ok(WeightScheme::Unit),
+            "degree" => Ok(WeightScheme::Degree),
+            "random" => Ok(WeightScheme::Random(seed)),
+            other => Err(UnknownWeightScheme(other.to_string())),
+        }
+    }
+
+    /// The selector name ([`WeightScheme::parse`] inverse, seed aside).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightScheme::Unit => "unit",
+            WeightScheme::Degree => "degree",
+            WeightScheme::Random(_) => "random",
+        }
+    }
+
+    /// Materializes the per-node weight vector for `g`.
+    pub fn weights(&self, g: &Graph) -> Vec<u64> {
+        let n = g.num_nodes();
+        match *self {
+            WeightScheme::Unit => vec![1; n],
+            WeightScheme::Degree => (0..n).map(|v| g.degree(v) as u64 + 1).collect(),
+            WeightScheme::Random(seed) => {
+                let mut state = seed;
+                (0..n)
+                    .map(|_| {
+                        state = splitmix64(state);
+                        state % 16 + 1
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Total cost of `nodes` under this scheme (weights from `g`).
+    pub fn total(&self, g: &Graph, nodes: &[usize]) -> u64 {
+        let w = self.weights(g);
+        nodes.iter().map(|&v| w[v]).sum()
+    }
+}
+
+/// One step of the splitmix64 sequence — the standard seed expander,
+/// kept local so `mcds-cds` needs no RNG dependency for weight synthesis.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

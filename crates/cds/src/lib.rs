@@ -88,7 +88,7 @@ pub mod routing;
 
 pub use algorithms::{parse_selector, Algorithm, UnknownAlgorithm};
 pub use error::CdsError;
-pub use fault::{fault_tolerant_cds, m_fold_dominators};
+pub use fault::{fault_tolerant_cds, m_fold_dominators, UnknownWeightScheme, WeightScheme};
 pub use greedy::{greedy_cds, greedy_cds_rooted};
 pub use growth::greedy_growth_cds;
 pub use result::{check_cds, Cds};

@@ -31,6 +31,7 @@ use mcds_graph::Graph;
 use mcds_mis::{variants, BfsMis};
 
 use crate::algorithms::Algorithm;
+use crate::fault::WeightScheme;
 use crate::{connect, fault, growth, prune, setcover, waf, Cds, CdsError};
 
 /// Wall-clock time spent in each stage of a solve (all zero unless
@@ -104,6 +105,7 @@ pub struct Solver {
     timings: bool,
     m: usize,
     biconnect: bool,
+    weights: WeightScheme,
 }
 
 impl Solver {
@@ -117,6 +119,7 @@ impl Solver {
             timings: false,
             m: 1,
             biconnect: false,
+            weights: WeightScheme::Unit,
         }
     }
 
@@ -183,9 +186,26 @@ impl Solver {
         self
     }
 
+    /// Optimizes for total node weight under `scheme` instead of raw
+    /// size.  [`WeightScheme::Unit`] (the default) leaves every
+    /// algorithm untouched; any other scheme routes both phases through
+    /// the weighted constructions of [`crate::fault`] — even at
+    /// `m = 1`, where it yields a minimum-weight CDS heuristic — and the
+    /// configured [`Algorithm`] then only labels the result, exactly as
+    /// [`Solver::m`] above 1 does.
+    pub fn weight_scheme(mut self, scheme: WeightScheme) -> Self {
+        self.weights = scheme;
+        self
+    }
+
     /// The configured algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The configured weight scheme.
+    pub fn weights(&self) -> WeightScheme {
+        self.weights
     }
 
     /// Runs the configured construction on `g`.
@@ -218,15 +238,16 @@ impl Solver {
         let mut watch = Stopwatch::new(self.timings);
         let mut timings = PhaseTimings::default();
 
-        let (dominators, mut connectors) = if self.m > 1 {
-            // The fault-tolerant family: phases route through the
-            // generalized m-fold constructions (see `Solver::m`).
+        let (dominators, mut connectors) = if self.m > 1 || self.weights != WeightScheme::Unit {
+            // The fault-tolerant / weighted family: phases route through
+            // the generalized m-fold constructions (see `Solver::m` and
+            // `Solver::weight_scheme`).
             let pre = mcds_obs::span("solve.precheck");
             if !g.is_connected() {
                 return Err(CdsError::DisconnectedGraph);
             }
             drop(pre);
-            let weights = vec![1u64; n];
+            let weights = self.weights.weights(g);
             let p1 = mcds_obs::span("solve.phase1");
             let doms = fault::weighted_m_fold_dominators(g, &weights, self.m)?;
             drop(p1);
@@ -461,6 +482,7 @@ impl Solution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::WeightScheme;
     use mcds_graph::properties;
 
     fn gnarly() -> Graph {
@@ -631,6 +653,63 @@ mod tests {
             .solve(&g)
             .unwrap();
         assert_eq!(classic.cds(), via_m.cds());
+    }
+
+    #[test]
+    fn weighted_solves_are_valid_and_deterministic() {
+        let g = gnarly();
+        for scheme in [
+            WeightScheme::Unit,
+            WeightScheme::Degree,
+            WeightScheme::Random(42),
+        ] {
+            for m in 1..=2 {
+                let a = Solver::new(Algorithm::GreedyConnect)
+                    .m(m)
+                    .weight_scheme(scheme)
+                    .verify(true)
+                    .solve(&g)
+                    .unwrap();
+                let b = Solver::new(Algorithm::GreedyConnect)
+                    .m(m)
+                    .weight_scheme(scheme)
+                    .verify(true)
+                    .solve(&g)
+                    .unwrap();
+                assert_eq!(a.cds(), b.cds(), "{scheme:?} m={m}");
+                assert!(properties::is_connected_dominating_set(&g, a.nodes()));
+            }
+        }
+        // Unit weights must not perturb the classic m = 1 path.
+        let classic = Solver::new(Algorithm::GreedyConnect).solve(&g).unwrap();
+        let unit = Solver::new(Algorithm::GreedyConnect)
+            .weight_scheme(WeightScheme::Unit)
+            .solve(&g)
+            .unwrap();
+        assert_eq!(classic.cds(), unit.cds());
+    }
+
+    #[test]
+    fn weight_scheme_vectors_and_totals() {
+        let g = gnarly();
+        let n = g.num_nodes();
+        assert_eq!(WeightScheme::Unit.weights(&g), vec![1; n]);
+        let deg = WeightScheme::Degree.weights(&g);
+        assert!((0..n).all(|v| deg[v] == g.degree(v) as u64 + 1));
+        let r1 = WeightScheme::Random(7).weights(&g);
+        assert_eq!(r1, WeightScheme::Random(7).weights(&g));
+        assert_ne!(r1, WeightScheme::Random(8).weights(&g));
+        assert!(r1.iter().all(|&w| (1..=16).contains(&w)));
+        assert_eq!(WeightScheme::Unit.total(&g, &[0, 3, 5]), 3);
+        assert_eq!(
+            WeightScheme::parse("degree", 0).unwrap(),
+            WeightScheme::Degree
+        );
+        assert_eq!(
+            WeightScheme::parse("random", 5).unwrap(),
+            WeightScheme::Random(5)
+        );
+        assert!(WeightScheme::parse("bogus", 0).is_err());
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::oracle::OracleCase;
 use crate::runner::TestResult;
 
 /// Node count up to which the exact `(1, 2)`-CDS oracle is consulted.
-pub const MAX_12CDS_NODES: usize = 14;
+/// Raised from 14 after the oracle's branch & bound gained forced-node
+/// pre-application and a top-r gains bound (see `mcds_exact::fault`).
+pub const MAX_12CDS_NODES: usize = 16;
 
 /// Branch & bound step budget for the `(1, 2)` oracle; exhaustion skips
 /// the optimality floor for that case (the structural checks still run).

@@ -4,7 +4,7 @@ use crate::args::Args;
 use crate::CliError;
 use mcds_bench::sweeps::{mean_timings, ms, timed_family_trials, timed_trials, Cell};
 use mcds_cds::algorithms::Algorithm;
-use mcds_cds::Solver;
+use mcds_cds::{Solver, WeightScheme};
 use mcds_graph::{dot, properties, traversal};
 use mcds_maintain::{
     waypoint_epoch, ChurnConfig, ChurnGen, FaultConfig, FaultGen, MaintainConfig, Maintainer,
@@ -112,12 +112,28 @@ fn parse_m(args: &Args) -> Result<usize, CliError> {
     Ok(m)
 }
 
+/// Parses `--weights` / `--weight-seed` into a [`WeightScheme`] (default
+/// unit, i.e. the classic unweighted constructions).
+fn parse_weights(args: &Args) -> Result<WeightScheme, CliError> {
+    let seed: u64 = args.parsed_or("weight-seed", 1)?;
+    let name = args.value("weights").unwrap_or("unit");
+    WeightScheme::parse(name, seed).map_err(|e| CliError::Usage(e.to_string()))
+}
+
 /// `solve`: run the CDS algorithms.
 pub fn solve(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["alg", "dot", "svg", "threads", "m"],
-        &["prune", "timings", "biconnect"],
+        &[
+            "alg",
+            "dot",
+            "svg",
+            "threads",
+            "m",
+            "weights",
+            "weight-seed",
+        ],
+        &["prune", "timings", "biconnect", "json"],
     )?;
     let udg = load(&args)?;
     let g = udg.graph();
@@ -126,6 +142,8 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
     let show_timings = args.switch("timings");
     let m = parse_m(&args)?;
     let biconnect = args.switch("biconnect");
+    let weights = parse_weights(&args)?;
+    let json = args.switch("json");
     let mut last: Option<(Algorithm, mcds_cds::Cds)> = None;
     for alg in &algs {
         let solution = Solver::new(*alg)
@@ -134,8 +152,35 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
             .timings(show_timings)
             .m(m)
             .biconnect(biconnect)
+            .weight_scheme(weights)
             .solve(g)
             .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
+        if json {
+            // One response object per algorithm, rendered by the same
+            // function the `mcds-serve` daemon uses — so a daemon seeded
+            // with this instance answers `solve` byte-identically
+            // (scripts/verify.sh diffs the two).
+            let req = mcds_serve::proto::SolveRequest {
+                alg: *alg,
+                m,
+                biconnect,
+                prune: args.switch("prune"),
+                weights,
+            };
+            let cds = solution.cds();
+            println!(
+                "{}",
+                mcds_serve::proto::render_solve(
+                    &req,
+                    g.num_nodes(),
+                    weights.total(g, cds.nodes()),
+                    cds.dominators(),
+                    cds.connectors(),
+                )
+            );
+            last = Some((*alg, solution.into_cds()));
+            continue;
+        }
         let mut suffix = match solution.pruned_from() {
             Some(orig) => format!(" (pruned from {orig})"),
             None => String::new(),
@@ -144,6 +189,13 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
             suffix.push_str(&format!(
                 " [({},{m}) backbone]",
                 if biconnect { 2 } else { 1 }
+            ));
+        }
+        if weights != WeightScheme::Unit {
+            suffix.push_str(&format!(
+                " [weights {}: total {}]",
+                weights.name(),
+                weights.total(g, solution.cds().nodes())
             ));
         }
         println!(
@@ -204,7 +256,18 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
 pub fn sweep(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         argv,
-        &["alg", "n", "side", "trials", "seed", "threads", "out", "m"],
+        &[
+            "alg",
+            "n",
+            "side",
+            "trials",
+            "seed",
+            "threads",
+            "out",
+            "m",
+            "weights",
+            "weight-seed",
+        ],
         &["biconnect"],
     )?;
     let n: usize = args.parsed_or("n", 200)?;
@@ -218,6 +281,7 @@ pub fn sweep(argv: &[String]) -> Result<(), CliError> {
     }
     let m = parse_m(&args)?;
     let biconnect = args.switch("biconnect");
+    let weights = parse_weights(&args)?;
     let threads = configure_pool(&args)?;
     let algs = algorithms_for(args.value("alg").unwrap_or("all"))?;
     let cell = Cell {
@@ -228,10 +292,10 @@ pub fn sweep(argv: &[String]) -> Result<(), CliError> {
     println!("sweep: {trials} trial(s) of n={n}, side={side}, seed={seed} on {threads} thread(s)");
     let mut rows: Vec<String> = vec!["alg,trial,n,size".into()];
     for alg in algs {
-        let ts = if m == 1 && !biconnect {
+        let ts = if m == 1 && !biconnect && weights == WeightScheme::Unit {
             timed_trials(alg, cell, seed)
         } else {
-            timed_family_trials(alg, cell, seed, m, biconnect)
+            timed_family_trials(alg, cell, seed, m, biconnect, weights)
         };
         if ts.is_empty() {
             println!("{:<8} no usable instances in this cell", alg.name());
@@ -739,6 +803,137 @@ pub fn churn(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve`: the backbone-as-a-service daemon plus its client modes.
+///
+/// * `serve FILE [--addr H:P] [--m M] [--threads T]` — hold FILE's
+///   topology resident behind a JSONL-over-TCP endpoint and serve
+///   solve/churn/query/metrics requests until a client sends
+///   `{"op":"shutdown"}`.  The bound address is printed first (use port
+///   0 to let the OS pick), so scripts can read the ephemeral port.
+/// * `serve --connect H:P` — interactive client: one request line in on
+///   stdin, one response line out on stdout.
+/// * `serve --bench H:P [--clients C] [--requests R] [--churn-every K]`
+///   — the in-tree load generator (E21's measuring side).
+pub fn serve(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &[
+            "addr",
+            "m",
+            "threads",
+            "connect",
+            "bench",
+            "clients",
+            "requests",
+            "churn-every",
+            "side",
+        ],
+        &[],
+    )?;
+    if let Some(addr) = args.value("connect") {
+        return serve_connect(addr);
+    }
+    if let Some(addr) = args.value("bench") {
+        return serve_bench(addr, &args);
+    }
+    let udg = load(&args)?;
+    let m = parse_m(&args)?;
+    let threads: usize = args.parsed_or("threads", mcds_pool::default_parallelism())?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    let addr = args.value("addr").unwrap_or("127.0.0.1:0");
+    let cfg = mcds_serve::ServeConfig {
+        radius: udg.radius(),
+        m,
+        threads,
+        ..mcds_serve::ServeConfig::default()
+    };
+    let server = mcds_serve::Server::bind(addr, cfg, udg.points().to_vec())
+        .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Scripts parse this exact line to learn the ephemeral port; flush
+    // it before blocking in the accept loop.
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    server
+        .run()
+        .map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+/// The `serve --connect` client loop: stdin request lines to `addr`,
+/// response lines to stdout, until EOF or a shutdown acknowledgement.
+fn serve_connect(addr: &str) -> Result<(), CliError> {
+    let mut client =
+        mcds_serve::Client::connect(addr).map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = client
+            .request(trimmed)
+            .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+        println!("{response}");
+        if response == mcds_serve::proto::render_shutdown() {
+            return Ok(());
+        }
+    }
+}
+
+/// The `serve --bench` load generator.
+fn serve_bench(addr: &str, args: &Args) -> Result<(), CliError> {
+    let cfg = mcds_serve::LoadConfig {
+        clients: args.parsed_or("clients", 8)?,
+        requests: args.parsed_or("requests", 200)?,
+        churn_every: args.parsed_or("churn-every", 10)?,
+    };
+    if cfg.clients == 0 || cfg.requests == 0 {
+        return Err(CliError::Usage(
+            "serve --bench needs --clients >= 1 and --requests >= 1".into(),
+        ));
+    }
+    let side: f64 = args.parsed_or("side", 6.0)?;
+    let report = mcds_serve::run_load(addr, cfg, side)
+        .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+    println!(
+        "{} clients x {} requests: {} ok, {} errors",
+        cfg.clients,
+        cfg.requests,
+        report.requests - report.errors,
+        report.errors
+    );
+    println!(
+        "wall {:?}  throughput {:.0} req/s  p50 {} us  p99 {} us",
+        report.wall,
+        report.throughput(),
+        report.p50_us,
+        report.p99_us
+    );
+    if report.errors > 0 {
+        return Err(CliError::Runtime(format!(
+            "{} request(s) failed",
+            report.errors
+        )));
+    }
+    Ok(())
+}
+
 /// `trace`: inspect a JSONL trace produced by the global `--trace` flag.
 ///
 /// * `trace check FILE` — validate every line against the `mcds-obs`
@@ -1102,6 +1297,80 @@ mod tests {
             churn(&sv(&["--fault-every", "2", "--fault-radius", "-1"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn solve_weighted_and_json_flags() {
+        let f = tmp("inst_weighted.udg");
+        gen(&sv(&[
+            "--n",
+            "40",
+            "--side",
+            "3.5",
+            "--seed",
+            "23",
+            "--connected",
+            "-o",
+            &f,
+        ]))
+        .unwrap();
+        solve(&sv(&[&f, "--weights", "degree"])).unwrap();
+        solve(&sv(&[
+            &f,
+            "--weights",
+            "random",
+            "--weight-seed",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        solve(&sv(&[&f, "--json", "--alg", "all"])).unwrap();
+        assert!(matches!(
+            solve(&sv(&[&f, "--weights", "lucky"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_weighted_runs_and_unit_matches_classic() {
+        let f_unit = tmp("sweep_w_unit.csv");
+        let f_deg = tmp("sweep_w_deg.csv");
+        let base = [
+            "--alg", "greedy", "--n", "30", "--side", "3", "--trials", "3", "--seed", "7",
+        ];
+        let mut a = sv(&base);
+        a.extend(sv(&["--weights", "unit", "--out", &f_unit]));
+        let mut b = sv(&base);
+        b.extend(sv(&["--weights", "degree", "--out", &f_deg]));
+        sweep(&a).unwrap();
+        sweep(&b).unwrap();
+        // An explicit unit scheme must reproduce the classic path's CSV.
+        let f_classic = tmp("sweep_w_classic.csv");
+        let mut c = sv(&base);
+        c.extend(sv(&["--out", &f_classic]));
+        sweep(&c).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&f_unit).unwrap(),
+            std::fs::read_to_string(&f_classic).unwrap()
+        );
+        assert!(matches!(
+            sweep(&sv(&["--weights", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_client_modes_reject_bad_input() {
+        assert!(matches!(
+            serve(&sv(&["--bench", "127.0.0.1:1", "--clients", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        // Nothing listens on a fresh ephemeral-range port we never bound.
+        assert!(matches!(
+            serve(&sv(&["--connect", "127.0.0.1:9"])),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(serve(&sv(&[])), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! mcds-cli dist   inst.udg
 //! mcds-cli construct chain --n 8 -o chain.udg
 //! mcds-cli churn  --n 100 --events 200 [--waypoint]
+//! mcds-cli serve  inst.udg [--addr 127.0.0.1:0] [--m 1|2|3] [--threads T]
 //! mcds-cli trace  summarize out.jsonl
 //! ```
 //!
@@ -118,9 +119,11 @@ usage:
   mcds-cli stats  FILE
   mcds-cli solve  FILE [--alg greedy|waf|chvatal|arb-mis|gk-grow|all] [--prune]
                   [--timings] [--m 1|2|3] [--biconnect] [--threads T]
+                  [--weights unit|degree|random [--weight-seed S]] [--json]
                   [--dot FILE] [--svg FILE]
   mcds-cli sweep  [--alg NAME|all] [--n N] [--side S] [--trials T] [--seed SEED]
                   [--m 1|2|3] [--biconnect] [--threads T] [--out FILE]
+                  [--weights unit|degree|random [--weight-seed S]]
   mcds-cli exact  FILE [--budget STEPS]
   mcds-cli verify FILE --nodes a,b,c
   mcds-cli dist   FILE
@@ -133,6 +136,9 @@ usage:
                   [--fault-every K] [--fault-radius R] [--fault-kill B]
                   [--threads T] [--verbose]
                   [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]
+  mcds-cli serve  FILE [--addr HOST:PORT] [--m 1|2|3] [--threads T]
+  mcds-cli serve  --connect HOST:PORT        (JSONL client: stdin -> stdout)
+  mcds-cli serve  --bench HOST:PORT [--clients C] [--requests R] [--churn-every K]
   mcds-cli trace  summarize|check FILE.jsonl
 
 global flags (any subcommand):
@@ -172,6 +178,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "route" => commands::route(rest),
         "broadcast" => commands::broadcast(rest),
         "churn" => commands::churn(rest),
+        "serve" => commands::serve(rest),
         "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -11,7 +11,7 @@
 //!   (conventions for tiny sets documented on the function),
 //! * [`try_min_12cds`] — exact minimum (1,2)-CDS (connected, 2-fold
 //!   dominating) by iterative-deepening branch & bound, practical to
-//!   n ≈ 14.
+//!   n ≈ 16.
 
 use mcds_graph::{node_mask, subsets, traversal, Graph};
 
@@ -58,7 +58,7 @@ pub fn is_biconnected(g: &Graph, set: &[usize]) -> bool {
 /// node outside `S` adjacent to ≥ 2 members of `S`.
 ///
 /// Exists for every connected graph (the full vertex set qualifies).
-/// Returns `None` on disconnected graphs.  Practical to n ≈ 14.
+/// Returns `None` on disconnected graphs.  Practical to n ≈ 16.
 pub fn min_12cds(g: &Graph) -> Option<Vec<usize>> {
     try_min_12cds(g, u64::MAX).expect("unbounded budget cannot be exhausted")
 }
@@ -83,12 +83,14 @@ pub fn try_min_12cds(g: &Graph, max_steps: u64) -> Result<Option<Vec<usize>>, ()
         return Ok(Some((0..n).collect()));
     }
     // Every degree-≤1 node is forced into S (it can never collect two
-    // external dominators), which gives a starting depth for the
-    // iterative deepening alongside the coverage-deficit bound.
-    let forced = (0..n).filter(|&v| g.degree(v) < 2).count();
+    // external dominators).  Pre-applying them shrinks the search tree —
+    // on trees and stars most of the solution is decided before the
+    // first branch — and their count seeds the iterative-deepening depth
+    // alongside the coverage-deficit bound.
+    let forced: Vec<usize> = (0..n).filter(|&v| g.degree(v) < 2).collect();
     let delta = g.max_degree();
     let deficit_lb = (2 * n).div_ceil(delta + 2);
-    let mut k = forced.max(deficit_lb).max(2);
+    let mut k = forced.len().max(deficit_lb).max(2);
     let mut steps = max_steps;
     loop {
         if k >= n {
@@ -106,7 +108,12 @@ pub fn try_min_12cds(g: &Graph, max_steps: u64) -> Result<Option<Vec<usize>>, ()
         };
         let mut chosen = Vec::new();
         let mut cover = vec![0u32; n];
-        let finished = search.run(&mut chosen, &mut cover, n);
+        let mut unsat = n;
+        for &v in &forced {
+            unsat -= search.apply(v, &mut cover);
+            chosen.push(v);
+        }
+        let finished = search.run(&mut chosen, &mut cover, unsat);
         steps = steps.saturating_sub(search.steps);
         if !finished {
             return Err(());
@@ -160,13 +167,32 @@ impl TwoDomSearch<'_> {
         if remaining == 0 {
             return true;
         }
-        // Deficit bound: one added node covers itself (worth ≤ 2) and
-        // raises ≤ Δ neighbor counts by one each.
-        let deficit: usize = (0..n)
-            .filter(|&v| !self.chosen_mask[v])
-            .map(|v| (2usize).saturating_sub(cover[v] as usize))
-            .sum();
-        if deficit.div_ceil(self.g.max_degree() + 2) > remaining {
+        // Gains bound: adding `c` can shrink the total coverage deficit
+        // by at most gain(c) = its own outstanding deficit (which
+        // vanishes when it joins) plus one per still-deficient unchosen
+        // neighbor.  Gains computed *here* only shrink deeper in the
+        // branch (cover counts only grow), so if even the `remaining`
+        // largest gains cannot pay off the deficit, no completion of
+        // this branch can — an admissible bound strictly stronger than
+        // the uniform `remaining · (Δ + 2)` estimate it replaces.
+        let mut deficit = 0usize;
+        let mut gains: Vec<usize> = Vec::with_capacity(n);
+        for v in 0..n {
+            if self.chosen_mask[v] {
+                continue;
+            }
+            let own = (2usize).saturating_sub(cover[v] as usize);
+            deficit += own;
+            gains.push(
+                own + self
+                    .g
+                    .neighbors_iter(v)
+                    .filter(|&w| !self.chosen_mask[w] && cover[w] < 2)
+                    .count(),
+            );
+        }
+        gains.sort_unstable_by(|a, b| b.cmp(a));
+        if gains.iter().take(remaining).sum::<usize>() < deficit {
             return true;
         }
         // Branch on the unsatisfied vertex with the fewest candidate
@@ -391,6 +417,67 @@ mod tests {
             for u in 0..n {
                 for v in (u + 1)..n {
                     if next() % 100 < 35 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            if !g.is_connected() {
+                continue;
+            }
+            tested += 1;
+            let fast = min_12cds(&g).unwrap();
+            assert!(is_m_dominating(&g, &fast, 2), "{g:?}");
+            assert!(
+                subsets::is_connected_subset(&g, &node_mask(n, &fast)),
+                "{g:?}"
+            );
+            let brute = brute_12cds(&g).unwrap();
+            assert_eq!(fast.len(), brute.len(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn min_12cds_handles_n16_families() {
+        // Named families at the new practical ceiling (n = 16).
+        assert_eq!(min_12cds(&Graph::path(16)).unwrap().len(), 16);
+        assert_eq!(min_12cds(&Graph::cycle(16)).unwrap().len(), 15);
+        assert_eq!(min_12cds(&Graph::complete(16)).unwrap().len(), 2);
+        // A spider (three legs of five hanging off a hub) is a tree, and
+        // on any tree the only (1,2)-CDS is the whole vertex set: an
+        // excluded leaf keeps a single dominator, and excluding an
+        // internal node disconnects the rest.  Its three forced leaves
+        // are pre-applied before the first branch.
+        let mut edges = Vec::new();
+        for leg in 0..3 {
+            let base = 1 + 5 * leg;
+            edges.push((0, base));
+            for i in 0..4 {
+                edges.push((base + i, base + i + 1));
+            }
+        }
+        let spider = Graph::from_edges(16, edges);
+        assert_eq!(min_12cds(&spider).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn min_12cds_matches_brute_force_at_16() {
+        // Sparser than the n = 9 sweep so leaves (forced nodes) actually
+        // occur and the gains bound does real pruning.
+        let mut s = 0x16cd5u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut tested = 0;
+        while tested < 4 {
+            let n = 16;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 16 {
                         edges.push((u, v));
                     }
                 }

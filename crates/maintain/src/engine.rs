@@ -315,6 +315,18 @@ impl Maintainer {
         self.nodes.len()
     }
 
+    /// Whether `node` is currently alive.  [`Maintainer::apply`] panics
+    /// on a `Leave`/`Move` of a dead node, so admission layers (the
+    /// `mcds-serve` churn queue) check here first and reject instead.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// The position of a live node, or `None` when it is dead.
+    pub fn position(&self, node: NodeId) -> Option<Point> {
+        self.nodes.get(&node).copied()
+    }
+
     /// The maintained backbone (dominators ∪ connectors) as sorted stable
     /// ids.
     pub fn backbone(&self) -> Vec<NodeId> {

@@ -174,6 +174,45 @@ fn render(events: &[Event]) -> String {
     out
 }
 
+/// Renders the current metric registry as three JSON object members —
+/// `"counters":{...},"gauges":{...},"hists":{...}` — names sorted, no
+/// surrounding braces, for embedding inside a larger JSON object (the
+/// `mcds-serve` metrics endpoint).  Nothing is drained.  Durations in
+/// histograms are wall-clock, so the fragment is a diagnostic view, not
+/// a comparable artifact (DESIGN.md §8).
+pub fn metrics_json() -> String {
+    let reg = registry::registry();
+    let mut out = String::from("\"counters\":{");
+    for (i, (name, value)) in reg.counter_snapshot().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", json_escape(&name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in reg.gauge_snapshot().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", json_escape(&name)));
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, hist)) in reg.histogram_snapshot().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{}}}",
+            json_escape(&name),
+            hist.count(),
+            hist.sum(),
+            hist.max()
+        ));
+    }
+    out.push('}');
+    out
+}
+
 /// Renders the full trace (meta line, buffered span/log events, metric
 /// snapshot) as JSONL and clears the event buffer.  The metric registry
 /// itself is left intact — use [`crate::reset`] to clear everything.

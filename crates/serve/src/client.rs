@@ -1,0 +1,220 @@
+//! Client side: a blocking one-line-per-request connection and the
+//! in-tree load generator behind `mcds-cli serve --bench` and E21.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use mcds_geom::Point;
+use mcds_maintain::TopologyEvent;
+
+use crate::proto::render_event;
+
+/// A blocking JSONL client connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the one-line response.
+    ///
+    /// `line` must be a single JSON object without embedded newlines.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        debug_assert!(!line.contains('\n'), "requests are one line each");
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Load-generator shape: `clients` concurrent connections, each sending
+/// `requests` requests of a fixed query-heavy mix with a churn batch
+/// every `churn_every`-th request (0 disables churn).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// Every how many requests a client submits a churn batch (0: never).
+    pub churn_every: usize,
+}
+
+/// Aggregated result of one load run.  All latency fields are wall-clock
+/// and therefore excluded from byte-compared artifacts (DESIGN.md §8).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Requests sent across all clients.
+    pub requests: usize,
+    /// Responses with `"ok":false` or transport failures.
+    pub errors: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// The deterministic request mix: the request `client` sends as its
+/// `i`-th, as a wire line.  Queries dominate; every `churn_every`-th
+/// request is a churn batch (a join plus a move of a seed node, at
+/// positions derived arithmetically from `(client, i)` so the stream
+/// needs no RNG), admitted immediately.
+pub fn mix_request(client: usize, i: usize, churn_every: usize, side: f64) -> String {
+    if churn_every > 0 && i % churn_every == churn_every - 1 {
+        let k = client * 7919 + i; // distinct odd stride per client
+        let coord = |j: usize| (j % 97) as f64 * side / 97.0;
+        let join = TopologyEvent::Join {
+            pos: Point::new(coord(k), coord(k / 97)),
+        };
+        let mv = TopologyEvent::Move {
+            node: client % 4,
+            to: Point::new(coord(k + 13), coord(k / 97 + 13)),
+        };
+        return format!(
+            r#"{{"op":"churn","events":[{},{}],"admit":true}}"#,
+            render_event(&join),
+            render_event(&mv)
+        );
+    }
+    match i % 4 {
+        0 => r#"{"op":"query","what":"stats"}"#.to_string(),
+        1 => format!(r#"{{"op":"query","what":"member","node":{}}}"#, i % 50),
+        2 => format!(
+            r#"{{"op":"query","what":"dominator-of","node":{}}}"#,
+            i % 50
+        ),
+        _ => r#"{"op":"metrics"}"#.to_string(),
+    }
+}
+
+/// Runs the load shape against a server and aggregates latencies.
+///
+/// Client threads are plain `std::thread`s — this is the measuring side,
+/// not the deterministic side; only the server's state must be (and is)
+/// interleaving-invariant.  `side` bounds the synthetic join positions.
+pub fn run_load(addr: &str, cfg: LoadConfig, side: f64) -> std::io::Result<LoadReport> {
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(cfg.requests);
+                    let mut errors = 0usize;
+                    let mut client = match Client::connect(addr) {
+                        Ok(c) => c,
+                        Err(_) => return (latencies, cfg.requests),
+                    };
+                    for i in 0..cfg.requests {
+                        let line = mix_request(c, i, cfg.churn_every, side);
+                        let t0 = Instant::now();
+                        match client.request(&line) {
+                            Ok(resp) => {
+                                let us =
+                                    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                                latencies.push(us);
+                                if !resp.starts_with("{\"ok\":true") {
+                                    errors += 1;
+                                }
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0;
+    for (ls, e) in results {
+        latencies.extend(ls);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    Ok(LoadReport {
+        requests: cfg.clients * cfg.requests,
+        errors,
+        wall,
+        p50_us: percentile(&latencies, 50),
+        p99_us: percentile(&latencies, 99),
+    })
+}
+
+/// Nearest-rank percentile of a sorted sample (0 for an empty one).
+pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100);
+    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50), 50);
+        assert_eq!(percentile(&xs, 99), 99);
+        assert_eq!(percentile(&xs, 100), 100);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_parseable() {
+        for c in 0..3 {
+            for i in 0..12 {
+                let a = mix_request(c, i, 5, 4.0);
+                let b = mix_request(c, i, 5, 4.0);
+                assert_eq!(a, b);
+                crate::proto::Request::parse(&a).expect("mix request parses");
+            }
+        }
+        // churn_every = 0 never emits churn
+        for i in 0..20 {
+            assert!(!mix_request(0, i, 0, 4.0).contains("churn"));
+        }
+    }
+}

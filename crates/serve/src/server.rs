@@ -1,0 +1,515 @@
+//! The daemon: a TCP listener, a worker pool, and one resident
+//! [`Maintainer`] behind a mutex.
+//!
+//! Every connection is a JSONL session served by an `mcds-pool` worker;
+//! requests across all connections funnel into the shared state under a
+//! single lock, so the engine only ever sees a serial event history.
+//! Churn events do not touch the engine on arrival — they queue, and a
+//! `churn` request with `"admit":true` drains the queue as one *tick* in
+//! the canonical admission order (see [`admission_key`]).  Two servers
+//! fed the same batches in any per-batch arrival order therefore hold
+//! bit-identical state after each tick — the DESIGN.md §8 determinism
+//! contract extended over the wire.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use mcds_maintain::{MaintainConfig, Maintainer, NodeId, TopologyEvent};
+use mcds_pool::ThreadPool;
+use mcds_udg::Udg;
+
+use crate::proto::{
+    self, ProtoError, QueryRequest, Request, SolveRequest, TickOutcome, MAX_LINE_BYTES,
+};
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Unit-disk communication radius of the resident topology.
+    pub radius: f64,
+    /// Domination multiplicity maintained under churn (`1..=3`).
+    pub m: usize,
+    /// Worker pool width.  One handler per connection, so this bounds the
+    /// number of concurrently served clients; with 1 the accept loop
+    /// serves connections inline, one at a time.
+    pub threads: usize,
+    /// Longest accepted request line in bytes (newline included).
+    pub max_line: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            radius: 1.0,
+            m: 1,
+            threads: mcds_pool::default_parallelism(),
+            max_line: MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// Mutable server state: the engine plus the churn admission queue.
+struct State {
+    engine: Maintainer,
+    pending: Vec<TopologyEvent>,
+    tick: u64,
+}
+
+/// State shared between the accept loop and connection handlers.
+struct Shared {
+    state: Mutex<State>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned lock means a handler panicked mid-request; the state
+        // is still structurally sound (the engine verifies after every
+        // event), so keep serving instead of wedging the daemon.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The canonical admission order of one tick: leaves, then moves, then
+/// joins; ties broken by node id, then by position bits.  Any total
+/// order would do for determinism — this one drains departures first so
+/// a move of a node that also left the same tick is rejected rather
+/// than order-dependent.
+fn admission_key(e: &TopologyEvent) -> (u8, NodeId, u64, u64) {
+    match *e {
+        TopologyEvent::Leave { node } => (0, node, 0, 0),
+        TopologyEvent::Move { node, to } => (1, node, to.x.to_bits(), to.y.to_bits()),
+        TopologyEvent::Join { pos } => (2, 0, pos.x.to_bits(), pos.y.to_bits()),
+    }
+}
+
+/// Drains the pending queue as one tick: sort canonically, validate each
+/// event against the *current* engine state, apply the valid ones.
+fn admit(state: &mut State) -> TickOutcome {
+    let mut batch = std::mem::take(&mut state.pending);
+    batch.sort_by_key(admission_key);
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for event in batch {
+        let valid = match &event {
+            TopologyEvent::Join { pos } => pos.is_finite(),
+            TopologyEvent::Leave { node } => state.engine.is_alive(*node),
+            TopologyEvent::Move { node, to } => state.engine.is_alive(*node) && to.is_finite(),
+        };
+        if valid {
+            state.engine.apply(event);
+            admitted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    state.tick += 1;
+    mcds_obs::counter!("serve.ticks");
+    TickOutcome {
+        tick: state.tick,
+        admitted,
+        rejected,
+        population: state.engine.population(),
+        backbone: state.engine.backbone().len(),
+    }
+}
+
+/// A bound JSONL server holding one resident maintained backbone.
+///
+/// ```no_run
+/// use mcds_serve::{ServeConfig, Server};
+///
+/// let points = vec![]; // usually a generated or loaded instance
+/// let server = Server::bind("127.0.0.1:0", ServeConfig::default(), points)?;
+/// println!("listening on {}", server.local_addr()?);
+/// server.run()?; // blocks until a client sends {"op":"shutdown"}
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("cfg", &self.cfg)
+            .field("addr", &self.listener.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and seeds the
+    /// resident engine with `points` (stable ids `0..points.len()`).
+    pub fn bind(
+        addr: &str,
+        cfg: ServeConfig,
+        points: Vec<mcds_geom::Point>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = Maintainer::with_population(
+            MaintainConfig {
+                radius: cfg.radius,
+                m: cfg.m,
+                ..MaintainConfig::default()
+            },
+            points,
+        );
+        Ok(Server {
+            listener,
+            cfg,
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    engine,
+                    pending: Vec::new(),
+                    tick: 0,
+                }),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a `shutdown` request arrives, then waits
+    /// for in-flight handlers to drain and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = ThreadPool::new(self.cfg.threads);
+        let cfg = self.cfg;
+        let shared = &self.shared;
+        let mut accept_error = None;
+        pool.scope(|scope| {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        mcds_obs::counter!("serve.connections");
+                        let shared = Arc::clone(shared);
+                        scope.spawn(move || handle_connection(stream, &shared, cfg));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        accept_error = Some(e);
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Reads one newline-terminated line into `acc`, polling the shutdown
+/// flag on read timeouts and enforcing the line-length cap as bytes
+/// arrive (not after).  Returns `Ok(None)` on EOF or shutdown.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> Result<Option<String>, LineError> {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(LineError::Io),
+        };
+        if chunk.is_empty() {
+            // EOF; a final unterminated line still counts as a request.
+            return if acc.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(take_line(acc)))
+            };
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.map_or(chunk.len(), |i| i + 1);
+        acc.extend_from_slice(&chunk[..upto]);
+        reader.consume(upto);
+        if acc.len() > max {
+            return Err(LineError::TooLong);
+        }
+        if newline.is_some() {
+            return Ok(Some(take_line(acc)));
+        }
+    }
+}
+
+fn take_line(acc: &mut Vec<u8>) -> String {
+    let mut bytes = std::mem::take(acc);
+    if bytes.last() == Some(&b'\n') {
+        bytes.pop();
+    }
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+enum LineError {
+    TooLong,
+    /// Transport failure; the connection is simply dropped, so the
+    /// underlying error is not carried.
+    Io,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, cfg: ServeConfig) {
+    // One small response per request: Nagle's algorithm would hold each
+    // one hostage to the client's delayed ACK (~40 ms per round trip),
+    // so send immediately.  Short read timeouts let idle connections
+    // notice a shutdown requested elsewhere.  Failures here mean the
+    // socket is already dead, so just drop it.
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut acc = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match read_line_limited(&mut reader, &mut acc, cfg.max_line, &shared.shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(LineError::TooLong) => {
+                // Framing is unrecoverable past an oversized line: report
+                // and close.
+                let msg = format!("request line exceeds {} bytes", cfg.max_line);
+                let _ = writeln!(writer, "{}", proto::render_error(&msg));
+                return;
+            }
+            Err(LineError::Io) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        mcds_obs::counter!("serve.requests");
+        let (response, close) = respond(&line, shared, cfg);
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request line; the bool asks the caller to close the
+/// connection afterwards.
+fn respond(line: &str, shared: &Shared, cfg: ServeConfig) -> (String, bool) {
+    match Request::parse(line) {
+        Err(ProtoError(msg)) => {
+            mcds_obs::counter!("serve.bad_requests");
+            (proto::render_error(&msg), false)
+        }
+        Ok(Request::Solve(req)) => (handle_solve(shared, cfg, &req), false),
+        Ok(Request::Churn { events, admit: run }) => {
+            let mut state = shared.lock();
+            let queued = events.len();
+            state.pending.extend(events);
+            let outcome = run.then(|| admit(&mut state));
+            let pending = state.pending.len();
+            (proto::render_churn(queued, pending, outcome), false)
+        }
+        Ok(Request::Query(q)) => (handle_query(shared, cfg, q), false),
+        Ok(Request::Metrics) => (proto::render_metrics(), false),
+        Ok(Request::Shutdown) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (proto::render_shutdown(), true)
+        }
+    }
+}
+
+/// Solves the resident topology from scratch, exactly the way the batch
+/// CLI does (same solver configuration, same renderer), mapping compact
+/// solver indices back to stable node ids.
+fn handle_solve(shared: &Shared, cfg: ServeConfig, req: &SolveRequest) -> String {
+    let _span = mcds_obs::span("serve.solve");
+    let state = shared.lock();
+    let alive = state.engine.alive();
+    if alive.is_empty() {
+        return proto::render_error("no nodes alive");
+    }
+    let ids: Vec<NodeId> = alive.iter().map(|&(id, _)| id).collect();
+    let pts: Vec<mcds_geom::Point> = alive.iter().map(|&(_, p)| p).collect();
+    let udg = Udg::with_radius(pts, cfg.radius);
+    let g = udg.graph();
+    let solution = mcds_cds::Solver::new(req.alg)
+        .verify(true)
+        .prune(req.prune)
+        .m(req.m)
+        .biconnect(req.biconnect)
+        .weight_scheme(req.weights)
+        .solve(g);
+    let cds = match solution {
+        Ok(s) => s.into_cds(),
+        Err(e) => return proto::render_error(&format!("{}: {e}", req.alg.name())),
+    };
+    let weight_total = req.weights.total(g, cds.nodes());
+    let dominators: Vec<usize> = cds.dominators().iter().map(|&v| ids[v]).collect();
+    let connectors: Vec<usize> = cds.connectors().iter().map(|&v| ids[v]).collect();
+    proto::render_solve(req, g.num_nodes(), weight_total, &dominators, &connectors)
+}
+
+fn handle_query(shared: &Shared, cfg: ServeConfig, q: QueryRequest) -> String {
+    let state = shared.lock();
+    let engine = &state.engine;
+    match q {
+        QueryRequest::Stats => {
+            let alive = engine.alive();
+            let giant = if alive.is_empty() {
+                0
+            } else {
+                let pts: Vec<mcds_geom::Point> = alive.iter().map(|&(_, p)| p).collect();
+                let udg = Udg::with_radius(pts, cfg.radius);
+                mcds_graph::traversal::largest_component(udg.graph()).len()
+            };
+            proto::render_stats(
+                state.tick,
+                engine.population(),
+                giant,
+                engine.dominators().len(),
+                engine.connectors().len(),
+            )
+        }
+        QueryRequest::DominatorOf(node) => {
+            let Some(pos) = engine.position(node) else {
+                return proto::render_dominator_of(node, false, &[]);
+            };
+            // Same adjacency rule as Udg::with_radius (closed disk with
+            // the geometry epsilon); a dominator dominates itself.
+            let r_sq = cfg.radius * cfg.radius + mcds_geom::EPS;
+            let dominators: Vec<NodeId> = engine
+                .dominators()
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    d == node || engine.position(d).is_some_and(|q| pos.dist_sq(q) <= r_sq)
+                })
+                .collect();
+            proto::render_dominator_of(node, true, &dominators)
+        }
+        QueryRequest::Member(node) => {
+            let alive = engine.is_alive(node);
+            let role = if !alive {
+                "client"
+            } else if engine.dominators().binary_search(&node).is_ok() {
+                "dominator"
+            } else if engine.connectors().binary_search(&node).is_ok() {
+                "connector"
+            } else {
+                "client"
+            };
+            proto::render_member(node, alive, role)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_geom::Point;
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * 0.8, 0.0)).collect()
+    }
+
+    #[test]
+    fn admission_order_is_canonical_and_validating() {
+        let engine = Maintainer::with_population(MaintainConfig::default(), line(6));
+        let mut state = State {
+            engine,
+            pending: vec![
+                TopologyEvent::Join {
+                    pos: Point::new(5.0, 0.1),
+                },
+                TopologyEvent::Move {
+                    node: 2,
+                    to: Point::new(1.6, 0.1),
+                },
+                TopologyEvent::Leave { node: 4 },
+                // Node 4 leaves this same tick; its move must be rejected
+                // (leaves drain first), not applied or panicking.
+                TopologyEvent::Move {
+                    node: 4,
+                    to: Point::new(3.0, 0.0),
+                },
+                TopologyEvent::Leave { node: 99 }, // dead: rejected
+            ],
+            tick: 0,
+        };
+        let out = admit(&mut state);
+        assert_eq!(out.tick, 1);
+        assert_eq!(out.admitted, 3); // leave 4, move 2, join
+        assert_eq!(out.rejected, 2);
+        assert_eq!(out.population, 6); // 6 - 1 + 1
+        assert!(state.pending.is_empty());
+        assert!(!state.engine.is_alive(4));
+        assert!(state.engine.is_alive(6)); // the join got the next id
+    }
+
+    #[test]
+    fn admission_is_interleaving_invariant() {
+        let events = vec![
+            TopologyEvent::Leave { node: 1 },
+            TopologyEvent::Join {
+                pos: Point::new(2.1, 0.4),
+            },
+            TopologyEvent::Move {
+                node: 3,
+                to: Point::new(2.5, 0.2),
+            },
+            TopologyEvent::Join {
+                pos: Point::new(0.3, 0.3),
+            },
+        ];
+        let run = |order: Vec<TopologyEvent>| {
+            let mut state = State {
+                engine: Maintainer::with_population(MaintainConfig::default(), line(5)),
+                pending: order,
+                tick: 0,
+            };
+            admit(&mut state);
+            (state.engine.alive(), state.engine.backbone())
+        };
+        let mut reversed = events.clone();
+        reversed.reverse();
+        assert_eq!(run(events), run(reversed));
+    }
+}

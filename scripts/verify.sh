@@ -77,6 +77,33 @@ awk -v c="$coverage" 'BEGIN { exit !(c >= 95.0) }' || {
   echo "span coverage $coverage% < 95%" >&2; exit 1; }
 echo "solve output identical with tracing on; trace valid, coverage $coverage%"
 
+echo "== serve: daemon solve byte-identical to batch CLI, clean shutdown =="
+cargo run --quiet --release -p mcds-cli -- gen --n 80 --side 5.0 --seed 21 \
+  --connected -o "$det_dir/serve.udg" > /dev/null
+cargo run --quiet --release -p mcds-cli -- solve "$det_dir/serve.udg" \
+  --alg greedy --json > "$det_dir/solve_batch.json"
+cargo run --quiet --release -p mcds-cli -- serve "$det_dir/serve.udg" \
+  --addr 127.0.0.1:0 > "$det_dir/serve_out.txt" &
+serve_pid=$!
+# The daemon prints exactly one `listening on HOST:PORT` line once bound;
+# poll for it rather than racing the ephemeral-port assignment.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(awk '/^listening on /{print $3; exit}' "$det_dir/serve_out.txt")
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "daemon never reported its address" >&2; exit 1; }
+printf '%s\n%s\n' \
+  '{"op":"solve","alg":"greedy"}' \
+  '{"op":"shutdown"}' \
+  | cargo run --quiet --release -p mcds-cli -- serve --connect "$addr" \
+  > "$det_dir/serve_session.txt"
+head -n 1 "$det_dir/serve_session.txt" > "$det_dir/solve_daemon.json"
+diff "$det_dir/solve_batch.json" "$det_dir/solve_daemon.json"
+wait "$serve_pid"
+echo "daemon solve byte-identical to batch CLI; clean shutdown"
+
 echo "== grid vs naive speedup smoke (n=20k, release) =="
 cargo test --quiet --release -p mcds-udg --test grid_equivalence -- \
   --ignored grid_beats_naive_5x_at_20k
