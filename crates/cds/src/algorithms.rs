@@ -1,7 +1,7 @@
 //! A uniform registry over all CDS constructions, for the experiment
 //! harness and examples.
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 
 use crate::{Cds, CdsError, Solution, Solver};
 
@@ -93,7 +93,7 @@ impl Algorithm {
     /// # Errors
     ///
     /// Propagates the algorithm's [`CdsError`].
-    pub fn run(self, g: &Graph) -> Result<Cds, CdsError> {
+    pub fn run<G: RandomAccessGraph>(self, g: &G) -> Result<Cds, CdsError> {
         Solver::new(self).solve(g).map(Solution::into_cds)
     }
 }
@@ -155,6 +155,7 @@ pub fn parse_selector(s: &str) -> Result<Vec<Algorithm>, UnknownAlgorithm> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcds_graph::Graph;
 
     #[test]
     fn registry_runs_everything() {

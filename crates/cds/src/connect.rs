@@ -16,7 +16,7 @@
 //! * [`max_gain_then_paths`] — greedy merges while possible, shortest
 //!   paths for whatever remains; total for any seed on a connected graph.
 
-use mcds_graph::{node_mask, subsets, Graph};
+use mcds_graph::{node_mask, subsets, RandomAccessGraph};
 
 use crate::CdsError;
 
@@ -32,7 +32,10 @@ use crate::CdsError;
 /// * [`CdsError::Stalled`] if no remaining node has positive gain while
 ///   more than one component remains (cannot happen when `seed` is an MIS
 ///   of a connected graph; can happen for weaker seeds).
-pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsError> {
+pub fn max_gain_connectors<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+) -> Result<Vec<usize>, CdsError> {
     if g.num_nodes() == 0 {
         return Err(CdsError::EmptyGraph);
     }
@@ -72,7 +75,7 @@ pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
             ))
         })?;
         mask[w] = true;
-        for u in g.neighbors_iter(w) {
+        for u in g.successors(w) {
             if mask[u] {
                 dsu.union(w, u);
             }
@@ -97,7 +100,10 @@ pub fn max_gain_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
 ///
 /// * [`CdsError::EmptyGraph`] / [`CdsError::DisconnectedGraph`] on bad
 ///   graphs.
-pub fn max_gain_then_paths(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsError> {
+pub fn max_gain_then_paths<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+) -> Result<Vec<usize>, CdsError> {
     if g.num_nodes() == 0 {
         return Err(CdsError::EmptyGraph);
     }
@@ -128,7 +134,7 @@ pub fn max_gain_then_paths(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
             break; // no merging node: fall through to path connectors
         };
         mask[w] = true;
-        for u in g.neighbors_iter(w) {
+        for u in g.successors(w) {
             if mask[u] {
                 dsu.union(w, u);
             }
@@ -148,7 +154,7 @@ pub fn max_gain_then_paths(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsE
 
 /// The per-step gains of a connector sequence, recomputed from scratch —
 /// a reference used in tests and by the Theorem-10 accounting experiment.
-pub fn gain_trace(g: &Graph, seed: &[usize], connectors: &[usize]) -> Vec<usize> {
+pub fn gain_trace<G: RandomAccessGraph>(g: &G, seed: &[usize], connectors: &[usize]) -> Vec<usize> {
     let mut mask = node_mask(g.num_nodes(), seed);
     let mut trace = Vec::with_capacity(connectors.len());
     let mut q = subsets::count_components(g, &mask);
@@ -172,7 +178,10 @@ pub fn gain_trace(g: &Graph, seed: &[usize], connectors: &[usize]) -> Vec<usize>
 ///
 /// * [`CdsError::EmptyGraph`] / [`CdsError::DisconnectedGraph`] on bad
 ///   graphs.
-pub fn path_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsError> {
+pub fn path_connectors<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+) -> Result<Vec<usize>, CdsError> {
     if g.num_nodes() == 0 {
         return Err(CdsError::EmptyGraph);
     }
@@ -207,7 +216,7 @@ pub fn path_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsError
         }
         let mut hit = None;
         'bfs: while let Some(v) = queue.pop_front() {
-            for u in g.neighbors_iter(v) {
+            for u in g.successors(v) {
                 if seen[u] {
                     continue;
                 }
@@ -236,7 +245,7 @@ pub fn path_connectors(g: &Graph, seed: &[usize]) -> Result<Vec<usize>, CdsError
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
     use mcds_mis::BfsMis;
 
     #[test]

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use mcds_graph::CdsViolation;
+
 /// Why a CDS construction, verification, or measurement failed.
 ///
 /// All algorithms in this crate require a connected, non-empty input graph
@@ -108,6 +110,24 @@ impl fmt::Display for CdsError {
 
 impl Error for CdsError {}
 
+/// Lifts the substrate's [`CdsViolation`] into this crate's error type,
+/// preserving the exact diagnostic strings the stringly checker used to
+/// produce (so CLI output and test messages are unchanged).
+impl From<CdsViolation> for CdsError {
+    fn from(v: CdsViolation) -> Self {
+        match v {
+            CdsViolation::EmptySet => {
+                CdsError::InvalidSet("empty set cannot dominate a non-empty graph".into())
+            }
+            CdsViolation::NotInGraph { node } => {
+                CdsError::InvalidSet(format!("node {node} is not a node of the graph"))
+            }
+            CdsViolation::NotDominating { node } => CdsError::NotDominating { node },
+            CdsViolation::NotConnected { .. } => CdsError::NotConnected,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +171,25 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_traits<T: Error + Send + Sync + 'static>() {}
         assert_traits::<CdsError>();
+    }
+
+    #[test]
+    fn violation_conversion_preserves_diagnostics() {
+        assert_eq!(
+            CdsError::from(CdsViolation::EmptySet).to_string(),
+            "invalid candidate set: empty set cannot dominate a non-empty graph"
+        );
+        assert_eq!(
+            CdsError::from(CdsViolation::NotInGraph { node: 9 }).to_string(),
+            "invalid candidate set: node 9 is not a node of the graph"
+        );
+        assert_eq!(
+            CdsError::from(CdsViolation::NotDominating { node: 4 }),
+            CdsError::NotDominating { node: 4 }
+        );
+        assert_eq!(
+            CdsError::from(CdsViolation::NotConnected { components: 3 }),
+            CdsError::NotConnected
+        );
     }
 }

@@ -35,7 +35,7 @@
 
 use std::collections::VecDeque;
 
-use mcds_graph::{node_mask, subsets, traversal, Graph};
+use mcds_graph::{node_mask, subsets, traversal, RandomAccessGraph};
 
 use crate::{connect, Cds, CdsError};
 
@@ -45,7 +45,7 @@ use crate::{connect, Cds, CdsError};
 /// `m = 0` returns the empty set; `m = 1` is the classic greedy
 /// dominating set.  Always feasible: a node nobody else can cover `m`
 /// times is eventually elected itself.
-pub fn m_fold_dominators(g: &Graph, m: usize) -> Vec<usize> {
+pub fn m_fold_dominators<G: RandomAccessGraph>(g: &G, m: usize) -> Vec<usize> {
     weighted_m_fold_dominators(g, &vec![1u64; g.num_nodes()], m)
         .expect("unit weights are always valid")
 }
@@ -62,8 +62,8 @@ pub fn m_fold_dominators(g: &Graph, m: usize) -> Vec<usize> {
 /// # Errors
 ///
 /// [`CdsError::InvalidSet`] if `weights.len() != g.num_nodes()`.
-pub fn weighted_m_fold_dominators(
-    g: &Graph,
+pub fn weighted_m_fold_dominators<G: RandomAccessGraph>(
+    g: &G,
     weights: &[u64],
     m: usize,
 ) -> Result<Vec<usize>, CdsError> {
@@ -102,7 +102,7 @@ pub fn weighted_m_fold_dominators(
             // Electing u erases u's own deficit and covers each
             // unsatisfied non-member neighbor once more.
             let mut gain = deficit(&chosen, &cover, u);
-            for w in g.neighbors_iter(u) {
+            for w in g.successors(u) {
                 if deficit(&chosen, &cover, w) > 0 {
                     gain += 1;
                 }
@@ -126,7 +126,7 @@ pub fn weighted_m_fold_dominators(
         total -= gain;
         chosen[u] = true;
         out.push(u);
-        for w in g.neighbors_iter(u) {
+        for w in g.successors(u) {
             cover[w] += 1;
         }
     }
@@ -151,8 +151,8 @@ pub fn weighted_m_fold_dominators(
 /// * [`CdsError::InvalidSet`] if the weight vector is malformed or the
 ///   seed is empty,
 /// * [`CdsError::DisconnectedGraph`] if `g` cannot connect the seed.
-pub fn weighted_max_gain_connectors(
-    g: &Graph,
+pub fn weighted_max_gain_connectors<G: RandomAccessGraph>(
+    g: &G,
     seed: &[usize],
     weights: &[u64],
 ) -> Result<Vec<usize>, CdsError> {
@@ -244,7 +244,10 @@ pub fn weighted_max_gain_connectors(
 /// * [`CdsError::NotConnected`] if `G[set]` is disconnected,
 /// * [`CdsError::NotBiconnected`] if some cut vertex cannot be bypassed
 ///   because `g` itself is not 2-connected.
-pub fn biconnect_augment(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsError> {
+pub fn biconnect_augment<G: RandomAccessGraph>(
+    g: &G,
+    set: &[usize],
+) -> Result<Vec<usize>, CdsError> {
     let n = g.num_nodes();
     if n == 0 {
         return Ok(Vec::new());
@@ -262,7 +265,7 @@ pub fn biconnect_augment(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsErro
         if backbone.len() <= 2 {
             break; // Biconnected by convention.
         }
-        let (sub, ids) = g.induced_subgraph(&backbone);
+        let (sub, ids) = subsets::induced_subgraph(g, &backbone);
         let cuts = traversal::articulation_points(&sub);
         let Some(&cut_local) = cuts.first() else {
             break;
@@ -291,14 +294,14 @@ pub fn biconnect_augment(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsErro
 
 /// The masked component containing `start` (nodes of `mask` reachable
 /// from `start` through `mask`).
-fn component_of(g: &Graph, mask: &[bool], start: usize) -> Vec<usize> {
+fn component_of<G: RandomAccessGraph>(g: &G, mask: &[bool], start: usize) -> Vec<usize> {
     debug_assert!(mask[start]);
     let mut seen = vec![false; g.num_nodes()];
     let mut queue = VecDeque::from([start]);
     seen[start] = true;
     let mut out = vec![start];
     while let Some(v) = queue.pop_front() {
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if mask[u] && !seen[u] {
                 seen[u] = true;
                 out.push(u);
@@ -314,8 +317,8 @@ fn component_of(g: &Graph, mask: &[bool], start: usize) -> Vec<usize> {
 /// `sources` to any *other* masked node, through `g` minus `avoid`.
 /// Returns `None` when no such path exists.  Deterministic: BFS visits
 /// neighbors in adjacency order from sources in sorted order.
-fn bfs_avoiding(
-    g: &Graph,
+fn bfs_avoiding<G: RandomAccessGraph>(
+    g: &G,
     avoid: usize,
     sources: &[usize],
     target_mask: &[bool],
@@ -331,7 +334,7 @@ fn bfs_avoiding(
     }
     seen[avoid] = true; // Never traverse the cut vertex.
     while let Some(v) = queue.pop_front() {
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if seen[u] {
                 continue;
             }
@@ -363,7 +366,7 @@ fn bfs_avoiding(
 /// * [`CdsError::InvalidSet`] for an empty set on a non-empty graph,
 /// * [`CdsError::NotMDominating`] naming the first under-covered node,
 /// * [`CdsError::NotConnected`] if `G[set]` is disconnected.
-pub fn check_m_cds(g: &Graph, set: &[usize], m: usize) -> Result<(), CdsError> {
+pub fn check_m_cds<G: RandomAccessGraph>(g: &G, set: &[usize], m: usize) -> Result<(), CdsError> {
     let n = g.num_nodes();
     if n == 0 {
         return Ok(());
@@ -378,7 +381,7 @@ pub fn check_m_cds(g: &Graph, set: &[usize], m: usize) -> Result<(), CdsError> {
         if mask[v] {
             continue;
         }
-        let have = g.neighbors_iter(v).filter(|&u| mask[u]).count();
+        let have = g.successors(v).filter(|&u| mask[u]).count();
         if have < m {
             return Err(CdsError::NotMDominating {
                 node: v,
@@ -396,12 +399,12 @@ pub fn check_m_cds(g: &Graph, set: &[usize], m: usize) -> Result<(), CdsError> {
 /// Whether `G[set]` is biconnected, with the same degenerate-size
 /// conventions as `mcds_exact::is_biconnected` (kept local so `mcds-cds`
 /// does not depend on the exact solvers).
-pub(crate) fn is_biconnected_set(g: &Graph, set: &[usize]) -> bool {
+pub(crate) fn is_biconnected_set<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     match set.len() {
         0 => g.num_nodes() == 0,
         1 => true,
         _ => {
-            let (sub, _ids) = g.induced_subgraph(set);
+            let (sub, _ids) = subsets::induced_subgraph(g, set);
             sub.is_connected() && traversal::articulation_points(&sub).is_empty()
         }
     }
@@ -415,7 +418,7 @@ pub(crate) fn is_biconnected_set(g: &Graph, set: &[usize]) -> bool {
 /// * [`CdsError::InvalidSet`] for an empty set on a non-empty graph,
 /// * [`CdsError::NotConnected`] if `G[set]` is disconnected,
 /// * [`CdsError::NotBiconnected`] naming the smallest cut vertex.
-pub fn check_biconnected(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
+pub fn check_biconnected<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Result<(), CdsError> {
     if g.num_nodes() == 0 {
         return Ok(());
     }
@@ -431,7 +434,7 @@ pub fn check_biconnected(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
             Err(CdsError::NotConnected)
         };
     }
-    let (sub, ids) = g.induced_subgraph(set);
+    let (sub, ids) = subsets::induced_subgraph(g, set);
     if !sub.is_connected() {
         return Err(CdsError::NotConnected);
     }
@@ -451,8 +454,8 @@ pub fn check_biconnected(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
 /// Propagates the [`check_m_cds`] violation (or
 /// [`CdsError::NotBiconnected`]) if `set` does not satisfy the contract
 /// to begin with.
-pub fn prune_m_cds(
-    g: &Graph,
+pub fn prune_m_cds<G: RandomAccessGraph>(
+    g: &G,
     set: &[usize],
     m: usize,
     biconnect: bool,
@@ -501,7 +504,11 @@ pub fn prune_m_cds(
 ///   invalid inputs,
 /// * [`CdsError::NotBiconnected`] when `biconnect` is requested but `g`
 ///   itself has a cut vertex no augmentation can bypass.
-pub fn fault_tolerant_cds(g: &Graph, m: usize, biconnect: bool) -> Result<Cds, CdsError> {
+pub fn fault_tolerant_cds<G: RandomAccessGraph>(
+    g: &G,
+    m: usize,
+    biconnect: bool,
+) -> Result<Cds, CdsError> {
     if g.num_nodes() == 0 {
         return Err(CdsError::EmptyGraph);
     }
@@ -579,7 +586,7 @@ impl WeightScheme {
     }
 
     /// Materializes the per-node weight vector for `g`.
-    pub fn weights(&self, g: &Graph) -> Vec<u64> {
+    pub fn weights<G: RandomAccessGraph>(&self, g: &G) -> Vec<u64> {
         let n = g.num_nodes();
         match *self {
             WeightScheme::Unit => vec![1; n],
@@ -597,7 +604,7 @@ impl WeightScheme {
     }
 
     /// Total cost of `nodes` under this scheme (weights from `g`).
-    pub fn total(&self, g: &Graph, nodes: &[usize]) -> u64 {
+    pub fn total<G: RandomAccessGraph>(&self, g: &G, nodes: &[usize]) -> u64 {
         let w = self.weights(g);
         nodes.iter().map(|&v| w[v]).sum()
     }
@@ -615,6 +622,7 @@ fn splitmix64(state: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcds_graph::Graph;
 
     fn gnarly() -> Graph {
         Graph::from_edges(
@@ -651,7 +659,7 @@ mod tests {
                 let mask = node_mask(g.num_nodes(), &doms);
                 for v in 0..g.num_nodes() {
                     if !mask[v] {
-                        let have = g.neighbors_iter(v).filter(|&u| mask[u]).count();
+                        let have = g.successors(v).filter(|&u| mask[u]).count();
                         assert!(have >= m, "node {v} covered {have} < {m} in {g:?}");
                     }
                 }
@@ -812,7 +820,7 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    g.neighbors_iter(v).any(|u| mask[u]),
+                    g.successors(v).any(|u| mask[u]),
                     "node {v} uncovered after killing {dead}"
                 );
             }

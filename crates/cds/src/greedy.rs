@@ -1,7 +1,7 @@
 //! The paper's new two-phased algorithm (Section IV): first-fit MIS plus
 //! greedy max-gain connectors.
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 
 use crate::{Algorithm, Cds, CdsError, Solver};
 
@@ -14,7 +14,7 @@ use crate::{Algorithm, Cds, CdsError, Solver};
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
-pub fn greedy_cds(g: &Graph) -> Result<Cds, CdsError> {
+pub fn greedy_cds<G: RandomAccessGraph>(g: &G) -> Result<Cds, CdsError> {
     greedy_cds_rooted(g, 0)
 }
 
@@ -36,7 +36,7 @@ pub fn greedy_cds(g: &Graph) -> Result<Cds, CdsError> {
 ///
 /// Panics if `root` is out of range (the [`Solver`] path reports
 /// [`CdsError::InvalidRoot`] instead).
-pub fn greedy_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
+pub fn greedy_cds_rooted<G: RandomAccessGraph>(g: &G, root: usize) -> Result<Cds, CdsError> {
     match Solver::new(Algorithm::GreedyConnect).root(root).solve(g) {
         Ok(solution) => Ok(solution.into_cds()),
         Err(CdsError::InvalidRoot { root, .. }) => panic!("root {root} out of range"),
@@ -48,7 +48,7 @@ pub fn greedy_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
 mod tests {
     use super::*;
     use crate::{connect, waf_cds_rooted};
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     #[test]
     fn errors_on_bad_inputs() {

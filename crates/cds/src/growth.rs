@@ -8,7 +8,7 @@
 //! 1998); the CDS literature the paper builds on ([2], [8]) uses closely
 //! related greedy covers, which is why it belongs in the comparison pool.
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 
 use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 
@@ -29,7 +29,7 @@ use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
-pub fn greedy_growth_cds(g: &Graph) -> Result<Cds, CdsError> {
+pub fn greedy_growth_cds<G: RandomAccessGraph>(g: &G) -> Result<Cds, CdsError> {
     Solver::new(Algorithm::GreedyGrowth)
         .solve(g)
         .map(Solution::into_cds)
@@ -37,7 +37,7 @@ pub fn greedy_growth_cds(g: &Graph) -> Result<Cds, CdsError> {
 
 /// The growth loop proper; `g` must be non-empty and connected.  Returns
 /// the grown set in selection order.
-pub(crate) fn grow(g: &Graph) -> Vec<usize> {
+pub(crate) fn grow<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let n = g.num_nodes();
     let seed = (0..n)
         .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
@@ -59,7 +59,7 @@ pub(crate) fn grow(g: &Graph) -> Vec<usize> {
             dominated[v] = true;
             *undominated -= 1;
         }
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if !dominated[u] {
                 dominated[u] = true;
                 *undominated -= 1;
@@ -83,10 +83,10 @@ pub(crate) fn grow(g: &Graph) -> Vec<usize> {
             if in_set[v] || !dominated[v] {
                 continue;
             }
-            if !g.neighbors_iter(v).any(|u| in_set[u]) {
+            if !g.successors(v).any(|u| in_set[u]) {
                 continue;
             }
-            let gain = g.neighbors_iter(v).filter(|&u| !dominated[u]).count();
+            let gain = g.successors(v).filter(|&u| !dominated[u]).count();
             if gain == 0 {
                 continue;
             }
@@ -105,7 +105,7 @@ pub(crate) fn grow(g: &Graph) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     #[test]
     fn valid_on_named_families() {

@@ -91,6 +91,7 @@ pub use error::CdsError;
 pub use fault::{fault_tolerant_cds, m_fold_dominators, UnknownWeightScheme, WeightScheme};
 pub use greedy::{greedy_cds, greedy_cds_rooted};
 pub use growth::greedy_growth_cds;
+pub use mcds_graph::CdsViolation;
 pub use result::{check_cds, Cds};
 pub use setcover::{arbitrary_mis_cds, chvatal_cds, chvatal_dominating_set};
 pub use solver::{PhaseTimings, Solution, Solver};

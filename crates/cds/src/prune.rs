@@ -7,7 +7,7 @@
 //! id tie-break) and removes greedily.  The result is a minimal — not
 //! minimum — CDS contained in the input.
 
-use mcds_graph::{node_mask, subsets, Graph};
+use mcds_graph::{node_mask, subsets, RandomAccessGraph};
 
 use crate::CdsError;
 
@@ -20,7 +20,7 @@ use crate::CdsError;
 ///
 /// Returns the typed violation (from [`crate::check_cds`]) if `set` is
 /// not a valid CDS of `g` to begin with.
-pub fn prune_cds(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsError> {
+pub fn prune_cds<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Result<Vec<usize>, CdsError> {
     crate::check_cds(g, set)?;
     let mut current: Vec<usize> = mcds_graph::node_set(set.iter().copied());
     // Candidates by descending degree: high-degree nodes are more likely
@@ -41,13 +41,13 @@ pub fn prune_cds(g: &Graph, set: &[usize]) -> Result<Vec<usize>, CdsError> {
 }
 
 /// CDS check without the diagnostic string machinery (hot path).
-fn is_cds_fast(g: &Graph, set: &[usize]) -> bool {
+fn is_cds_fast<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     if set.is_empty() {
         return g.num_nodes() == 0;
     }
     let mask = node_mask(g.num_nodes(), set);
     for v in 0..g.num_nodes() {
-        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
+        if !mask[v] && !g.successors(v).any(|u| mask[u]) {
             return false;
         }
     }
@@ -59,7 +59,7 @@ fn is_cds_fast(g: &Graph, set: &[usize]) -> bool {
 /// # Errors
 ///
 /// Propagates the validity error from [`prune_cds`].
-pub fn pruning_savings(g: &Graph, set: &[usize]) -> Result<usize, CdsError> {
+pub fn pruning_savings<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Result<usize, CdsError> {
     let pruned = prune_cds(g, set)?;
     Ok(set.len() - pruned.len())
 }
@@ -68,6 +68,7 @@ pub fn pruning_savings(g: &Graph, set: &[usize]) -> Result<usize, CdsError> {
 mod tests {
     use super::*;
     use crate::{greedy_cds, waf_cds};
+    use mcds_graph::Graph;
 
     #[test]
     fn pruned_set_is_valid_and_minimal() {

@@ -1,38 +1,25 @@
 //! The [`Cds`] result type and the typed CDS checker.
 
 use crate::CdsError;
-use mcds_graph::{node_mask, node_set, subsets, Graph};
+use mcds_graph::{node_set, properties, RandomAccessGraph};
 use std::fmt;
 
 /// Checks that `set` is a connected dominating set of `g`, reporting the
 /// first violated property as a typed [`CdsError`].
 ///
-/// This is the typed counterpart of
-/// [`mcds_graph::properties::check_cds`] (which keeps its stringly
-/// diagnostics because `mcds-graph` sits below the error type).
+/// This is a thin adapter over the substrate's
+/// [`mcds_graph::properties::check_cds`]: the one reference checker runs,
+/// and its typed [`mcds_graph::CdsViolation`] is lifted into [`CdsError`]
+/// with the historical diagnostic strings intact.
 ///
 /// # Errors
 ///
-/// * [`CdsError::InvalidSet`] if `set` is empty while `g` has nodes,
+/// * [`CdsError::InvalidSet`] if `set` is empty while `g` has nodes, or
+///   contains an out-of-range node,
 /// * [`CdsError::NotDominating`] naming the first undominated node,
 /// * [`CdsError::NotConnected`] if `G[set]` is disconnected.
-pub fn check_cds(g: &Graph, set: &[usize]) -> Result<(), CdsError> {
-    let n = g.num_nodes();
-    if n > 0 && set.is_empty() {
-        return Err(CdsError::InvalidSet(
-            "empty set cannot dominate a non-empty graph".into(),
-        ));
-    }
-    let mask = node_mask(n, set);
-    for v in 0..n {
-        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
-            return Err(CdsError::NotDominating { node: v });
-        }
-    }
-    if !subsets::is_connected_subset(g, &mask) {
-        return Err(CdsError::NotConnected);
-    }
-    Ok(())
+pub fn check_cds<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Result<(), CdsError> {
+    properties::check_cds(g, set).map_err(Into::into)
 }
 
 /// A connected dominating set produced by a two-phased algorithm, keeping
@@ -103,7 +90,7 @@ impl Cds {
     ///
     /// Returns the first violated property as a typed [`CdsError`] (see
     /// [`check_cds`]).
-    pub fn verify(&self, g: &Graph) -> Result<(), CdsError> {
+    pub fn verify<G: RandomAccessGraph>(&self, g: &G) -> Result<(), CdsError> {
         check_cds(g, &self.nodes)
     }
 }
@@ -123,6 +110,7 @@ impl fmt::Debug for Cds {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcds_graph::Graph;
 
     #[test]
     fn roles_are_normalized_and_disjoint() {

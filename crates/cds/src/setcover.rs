@@ -1,7 +1,7 @@
 //! Baseline two-phased constructions: Chvátal set-cover dominators \[2\]
 //! and arbitrary-MIS dominators \[1\]/\[9\].
 
-use mcds_graph::{node_mask, Graph};
+use mcds_graph::{node_mask, RandomAccessGraph};
 
 use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 
@@ -15,7 +15,7 @@ use crate::{Algorithm, Cds, CdsError, Solution, Solver};
 ///
 /// The result is a dominating set but generally neither independent nor
 /// connected.
-pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
+pub fn chvatal_dominating_set<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let n = g.num_nodes();
     let mut covered = vec![false; n];
     let mut remaining = n;
@@ -24,7 +24,7 @@ pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
         let mut best = (0usize, usize::MAX); // (new coverage, node)
         for v in 0..n {
             let mut cover = usize::from(!covered[v]);
-            cover += g.neighbors_iter(v).filter(|&u| !covered[u]).count();
+            cover += g.successors(v).filter(|&u| !covered[u]).count();
             if cover > best.0 || (cover == best.0 && v < best.1) {
                 best = (cover, v);
             }
@@ -36,7 +36,7 @@ pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
             covered[v] = true;
             remaining -= 1;
         }
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if !covered[u] {
                 covered[u] = true;
                 remaining -= 1;
@@ -60,7 +60,7 @@ pub fn chvatal_dominating_set(g: &Graph) -> Vec<usize> {
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
-pub fn chvatal_cds(g: &Graph) -> Result<Cds, CdsError> {
+pub fn chvatal_cds<G: RandomAccessGraph>(g: &G) -> Result<Cds, CdsError> {
     Solver::new(Algorithm::ChvatalSetCover)
         .solve(g)
         .map(Solution::into_cds)
@@ -82,7 +82,7 @@ pub fn chvatal_cds(g: &Graph) -> Result<Cds, CdsError> {
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
-pub fn arbitrary_mis_cds(g: &Graph) -> Result<Cds, CdsError> {
+pub fn arbitrary_mis_cds<G: RandomAccessGraph>(g: &G) -> Result<Cds, CdsError> {
     Solver::new(Algorithm::ArbitraryMis)
         .solve(g)
         .map(Solution::into_cds)
@@ -91,15 +91,15 @@ pub fn arbitrary_mis_cds(g: &Graph) -> Result<Cds, CdsError> {
 /// Verifies the set-cover invariant used in tests: every node is covered
 /// by the returned set.
 #[allow(dead_code)]
-fn is_cover(g: &Graph, set: &[usize]) -> bool {
+fn is_cover<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     let mask = node_mask(g.num_nodes(), set);
-    (0..g.num_nodes()).all(|v| mask[v] || g.neighbors_iter(v).any(|u| mask[u]))
+    (0..g.num_nodes()).all(|v| mask[v] || g.successors(v).any(|u| mask[u]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     #[test]
     fn chvatal_ds_dominates() {

@@ -27,7 +27,7 @@
 
 use std::time::{Duration, Instant};
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 use mcds_mis::{variants, BfsMis};
 
 use crate::algorithms::Algorithm;
@@ -223,7 +223,7 @@ impl Solver {
     /// * [`CdsError::NotBiconnected`] if [`Solver::biconnect`] is set
     ///   but the graph's own cut vertices make a 2-connected backbone
     ///   impossible.
-    pub fn solve(&self, g: &Graph) -> Result<Solution, CdsError> {
+    pub fn solve<G: RandomAccessGraph>(&self, g: &G) -> Result<Solution, CdsError> {
         let n = g.num_nodes();
         if n == 0 {
             return Err(CdsError::EmptyGraph);
@@ -318,9 +318,9 @@ impl Solver {
     }
 
     /// The classic (m = 1) phase pair for the configured algorithm.
-    fn base_phases(
+    fn base_phases<G: RandomAccessGraph>(
         &self,
-        g: &Graph,
+        g: &G,
         root: usize,
         watch: &mut Stopwatch,
         timings: &mut PhaseTimings,
@@ -483,7 +483,7 @@ impl Solution {
 mod tests {
     use super::*;
     use crate::fault::WeightScheme;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     fn gnarly() -> Graph {
         Graph::from_edges(

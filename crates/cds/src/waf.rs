@@ -1,7 +1,7 @@
 //! The Wan–Alzoubi–Frieder two-phased algorithm \[10\], as described and
 //! analyzed in the paper's Section III.
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 use mcds_mis::BfsMis;
 
 use crate::{Algorithm, Cds, CdsError, Solver};
@@ -16,7 +16,7 @@ use crate::{Algorithm, Cds, CdsError, Solver};
 ///
 /// * [`CdsError::EmptyGraph`] if `g` has no nodes,
 /// * [`CdsError::DisconnectedGraph`] if `g` is disconnected.
-pub fn waf_cds(g: &Graph) -> Result<Cds, CdsError> {
+pub fn waf_cds<G: RandomAccessGraph>(g: &G) -> Result<Cds, CdsError> {
     waf_cds_rooted(g, 0)
 }
 
@@ -44,7 +44,7 @@ pub fn waf_cds(g: &Graph) -> Result<Cds, CdsError> {
 ///
 /// Panics if `root` is out of range (the [`Solver`] path reports
 /// [`CdsError::InvalidRoot`] instead).
-pub fn waf_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
+pub fn waf_cds_rooted<G: RandomAccessGraph>(g: &G, root: usize) -> Result<Cds, CdsError> {
     match Solver::new(Algorithm::WafTree).root(root).solve(g) {
         Ok(solution) => Ok(solution.into_cds()),
         Err(CdsError::InvalidRoot { root, .. }) => panic!("root {root} out of range"),
@@ -55,7 +55,11 @@ pub fn waf_cds_rooted(g: &Graph, root: usize) -> Result<Cds, CdsError> {
 /// Phase 2 of the WAF construction: the special neighbor `s` plus the
 /// BFS-tree parents of the dominators `s` does not cover.  `phase1` must
 /// be the BFS MIS of `g` rooted at `root`, spanning `g`.
-pub(crate) fn waf_connectors(g: &Graph, phase1: &BfsMis, root: usize) -> Vec<usize> {
+pub(crate) fn waf_connectors<G: RandomAccessGraph>(
+    g: &G,
+    phase1: &BfsMis,
+    root: usize,
+) -> Vec<usize> {
     let mis = phase1.mis();
 
     // A single dominator already dominates everything and is trivially
@@ -66,19 +70,16 @@ pub(crate) fn waf_connectors(g: &Graph, phase1: &BfsMis, root: usize) -> Vec<usi
 
     // s: the root's neighbor covering the most dominators.
     let s = g
-        .neighbors_iter(root)
+        .successors(root)
         .max_by_key(|&w| {
             (
-                g.neighbors_iter(w).filter(|&u| phase1.contains(u)).count(),
+                g.successors(w).filter(|&u| phase1.contains(u)).count(),
                 std::cmp::Reverse(w),
             )
         })
         .expect("connected graph with ≥2 dominators has a rooted neighbor");
 
-    let covered_by_s: Vec<usize> = g
-        .neighbors_iter(s)
-        .filter(|&u| phase1.contains(u))
-        .collect();
+    let covered_by_s: Vec<usize> = g.successors(s).filter(|&u| phase1.contains(u)).collect();
     let covered_mask = mcds_graph::node_mask(g.num_nodes(), &covered_by_s);
 
     let mut connectors = vec![s];
@@ -104,7 +105,7 @@ pub(crate) fn waf_connectors(g: &Graph, phase1: &BfsMis, root: usize) -> Vec<usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     #[test]
     fn errors_on_bad_inputs() {

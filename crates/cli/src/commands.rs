@@ -132,11 +132,25 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
             "m",
             "weights",
             "weight-seed",
+            "backend",
         ],
         &["prune", "timings", "biconnect", "json"],
     )?;
     let udg = load(&args)?;
     let g = udg.graph();
+    // `--backend compact` re-solves against the gap-compressed adjacency
+    // backend; output (including `--json`) is byte-identical to the CSR
+    // default because the two backends expose the same sorted adjacency
+    // (scripts/verify.sh diffs the two).
+    let compact = match args.value("backend").unwrap_or("csr") {
+        "csr" => None,
+        "compact" => Some(mcds_graph::CompactGraph::from_graph(g)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --backend {other} (expected csr or compact)"
+            )))
+        }
+    };
     configure_pool(&args)?;
     let algs = algorithms_for(args.value("alg").unwrap_or("greedy"))?;
     let show_timings = args.switch("timings");
@@ -146,15 +160,18 @@ pub fn solve(argv: &[String]) -> Result<(), CliError> {
     let json = args.switch("json");
     let mut last: Option<(Algorithm, mcds_cds::Cds)> = None;
     for alg in &algs {
-        let solution = Solver::new(*alg)
+        let solver = Solver::new(*alg)
             .verify(true)
             .prune(args.switch("prune"))
             .timings(show_timings)
             .m(m)
             .biconnect(biconnect)
-            .weight_scheme(weights)
-            .solve(g)
-            .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
+            .weight_scheme(weights);
+        let solution = match &compact {
+            Some(c) => solver.solve(c),
+            None => solver.solve(g),
+        }
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", alg.name())))?;
         if json {
             // One response object per algorithm, rendered by the same
             // function the `mcds-serve` daemon uses — so a daemon seeded

@@ -1,13 +1,15 @@
 //! Incremental graph construction.
 
-use crate::Graph;
+use crate::{CompactGraph, CompactGraphBuilder, Graph};
 
-/// An incremental builder for [`Graph`].
+/// An incremental builder for either graph backend.
 ///
 /// Useful when edges are discovered one at a time (e.g. while scanning a
 /// spatial index).  Follows the non-consuming builder convention: mutating
-/// methods return `&mut Self`, and [`GraphBuilder::build`] reads the
-/// accumulated state.
+/// methods return `&mut Self`, and [`GraphBuilder::build`] /
+/// [`GraphBuilder::build_compact`] read the accumulated state.  Both
+/// finalizers share one normalization path (range/self-loop validation,
+/// sorting, dedup), so the two backends always describe the same graph.
 ///
 /// ```
 /// use mcds_graph::GraphBuilder;
@@ -65,6 +67,24 @@ impl GraphBuilder {
     pub fn build(&self) -> Graph {
         Graph::from_edges(self.n, self.edges.iter().copied())
     }
+
+    /// Finalizes into a gap-compressed [`CompactGraph`].
+    ///
+    /// Runs the same normalization as [`GraphBuilder::build`], then feeds
+    /// the sorted adjacency lists straight into the varint encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any recorded edge is out of range or a self-loop (same
+    /// contract as [`Graph::from_edges`]).
+    pub fn build_compact(&self) -> CompactGraph {
+        let adj = crate::graph::adjacency_from_edges(self.n, self.edges.iter().copied());
+        let mut b = CompactGraphBuilder::new(self.n);
+        for list in &adj {
+            b.push_adjacency(list);
+        }
+        b.finish()
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +119,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn build_validates_range() {
         GraphBuilder::new(1).edge(0, 1).build();
+    }
+
+    #[test]
+    fn both_backends_from_one_builder_agree() {
+        let mut b = GraphBuilder::new(5);
+        // Duplicates and unordered endpoints exercise normalization.
+        b.edges([(3, 1), (1, 3), (0, 1), (2, 4), (4, 2), (1, 2)]);
+        let g = b.build();
+        let c = b.build_compact();
+        assert_eq!(CompactGraph::from_graph(&g), c);
+        assert_eq!(c.to_graph(), g);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn build_compact_validates_self_loops() {
+        GraphBuilder::new(3).edge(1, 1).build_compact();
     }
 }

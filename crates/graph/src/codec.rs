@@ -1,0 +1,234 @@
+//! Byte codes for the compressed adjacency backend.
+//!
+//! [`CompactGraph`](crate::CompactGraph) stores neighbor gaps as LEB128
+//! varints, with the first neighbor of each node zig-zag mapped (it is a
+//! signed delta from the node id).  The codes live in their own module —
+//! public, zero-dependency, and fully checked on the read side — so the
+//! property/fuzz suites can hammer the decoder with hostile byte streams
+//! independently of any graph.
+//!
+//! Encoding: little-endian base-128 with a continuation bit (LEB128).  A
+//! `u64` takes 1–10 bytes; the canonical form is the shortest one, and
+//! [`read_varint`] rejects non-canonical (overlong) encodings as well as
+//! truncated input, so every valid byte stream has exactly one parse.
+
+use std::fmt;
+
+/// Why a varint failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended inside a varint (a continuation bit was set on the
+    /// final available byte, or the stream was empty).
+    Truncated {
+        /// Byte offset where decoding started.
+        at: usize,
+    },
+    /// The encoding is longer than the canonical form: an 11th byte, a
+    /// 10th byte with bits above the 64th, or a zero-valued continuation
+    /// tail (e.g. `0x80 0x00` for 0).
+    Overlong {
+        /// Byte offset where decoding started.
+        at: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { at } => write!(f, "truncated varint at byte {at}"),
+            CodecError::Overlong { at } => write!(f, "overlong varint at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `x` to `out` as a canonical LEB128 varint (1–10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one canonical LEB128 varint from `bytes` starting at `*pos`,
+/// advancing `*pos` past it.
+///
+/// # Errors
+///
+/// * [`CodecError::Truncated`] if the stream ends mid-varint,
+/// * [`CodecError::Overlong`] if the encoding is not the canonical
+///   shortest form (trailing zero continuation, or overflow past 64 bits).
+///
+/// On error `*pos` is left at the start of the failed varint.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let start = *pos;
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(start + (shift / 7) as usize) else {
+            return Err(CodecError::Truncated { at: start });
+        };
+        let payload = (byte & 0x7f) as u64;
+        if shift == 63 {
+            // 10th byte: only the low bit may carry payload, and it must.
+            if byte > 1 {
+                return Err(CodecError::Overlong { at: start });
+            }
+        } else if shift > 63 {
+            return Err(CodecError::Overlong { at: start });
+        }
+        x |= payload << shift;
+        if byte & 0x80 == 0 {
+            // Canonical form: a multi-byte encoding never ends in a zero
+            // payload byte (that byte would be droppable).
+            if shift > 0 && payload == 0 {
+                return Err(CodecError::Overlong { at: start });
+            }
+            *pos = start + (shift / 7) as usize + 1;
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag maps a signed delta to an unsigned code: 0, -1, 1, -2, … →
+/// 0, 1, 2, 3, … so small magnitudes get short varints either way.
+#[inline]
+pub fn zigzag_encode(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: u64) -> usize {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, x);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Ok(x), "value {x}");
+        assert_eq!(pos, buf.len(), "value {x} must consume its whole code");
+        buf.len()
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16_383), 2);
+        assert_eq!(roundtrip(16_384), 3);
+        assert_eq!(roundtrip((1 << 35) - 1), 5);
+        assert_eq!(roundtrip(1 << 35), 6);
+        assert_eq!(roundtrip(u64::MAX - 1), 10);
+        assert_eq!(roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn concatenated_varints_decode_in_sequence() {
+        let values = [0u64, 1, 300, 127, 128, u64::MAX, 42];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected() {
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[], &mut pos),
+            Err(CodecError::Truncated { at: 0 })
+        );
+        // A continuation bit with nothing after it.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80], &mut pos),
+            Err(CodecError::Truncated { at: 0 })
+        );
+        assert_eq!(pos, 0, "pos must not advance on error");
+        // Ten continuation bytes, no terminator.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0xff; 9], &mut pos),
+            Err(CodecError::Truncated { at: 0 })
+        );
+    }
+
+    #[test]
+    fn overlong_encodings_are_rejected() {
+        // 0 encoded in two bytes.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x00], &mut pos),
+            Err(CodecError::Overlong { at: 0 })
+        );
+        // 1 encoded in two bytes.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x81, 0x00], &mut pos),
+            Err(CodecError::Overlong { at: 0 })
+        );
+        // Overflow past 64 bits: 10th byte with a high payload bit.
+        let mut pos = 0;
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(
+            read_varint(&bytes, &mut pos),
+            Err(CodecError::Overlong { at: 0 })
+        );
+        // An 11th byte.
+        let mut pos = 0;
+        let bytes = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x81, 0x00,
+        ];
+        assert_eq!(
+            read_varint(&bytes, &mut pos),
+            Err(CodecError::Overlong { at: 0 })
+        );
+    }
+
+    #[test]
+    fn u64_max_is_canonical_ten_bytes() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        assert_eq!(
+            buf,
+            [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]
+        );
+    }
+
+    #[test]
+    fn zigzag_roundtrip_and_ordering() {
+        for x in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX, -1_000_000, 42] {
+            assert_eq!(zigzag_decode(zigzag_encode(x)), x, "{x}");
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn error_display_names_the_offset() {
+        assert!(CodecError::Truncated { at: 7 }.to_string().contains("7"));
+        assert!(CodecError::Overlong { at: 3 }.to_string().contains("3"));
+    }
+}

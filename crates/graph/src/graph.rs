@@ -1,6 +1,32 @@
-//! The immutable CSR graph.
+//! The immutable CSR graph — the reference [`RandomAccessGraph`] backend.
 
 use std::fmt;
+
+use crate::{RandomAccessGraph, SequentialGraph};
+
+/// Builds normalized adjacency lists from an edge iterator: validates
+/// range and self-loops, sorts each list, merges duplicates.
+///
+/// This is the single normalization path shared by [`Graph::from_edges`]
+/// and both `GraphBuilder` backends (`build`/`build_compact`), so the two
+/// representations can never disagree on what the canonical graph is.
+pub(crate) fn adjacency_from_edges<I>(n: usize, edges: I) -> Vec<Vec<u32>>
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in edges {
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
+        assert_ne!(u, v, "self-loop at node {u} is not allowed");
+        adj[u].push(v as u32);
+        adj[v].push(u as u32);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
 
 /// An immutable, undirected, simple graph in compressed-sparse-row form.
 ///
@@ -39,29 +65,39 @@ impl Graph {
     where
         I: IntoIterator<Item = (usize, usize)>,
     {
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (u, v) in edges {
-            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
-            assert_ne!(u, v, "self-loop at node {u} is not allowed");
-            adj[u].push(v as u32);
-            adj[v].push(u as u32);
-        }
+        let adj = adjacency_from_edges(n, edges);
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut targets = Vec::new();
-        let mut num_edges = 0usize;
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-            num_edges += list.len();
+        for list in &adj {
             targets.extend_from_slice(list);
             offsets.push(targets.len());
         }
-        debug_assert_eq!(num_edges % 2, 0);
+        Graph::from_sorted_adjacency(offsets, targets)
+    }
+
+    /// Assembles a graph from already-normalized CSR parts (sorted,
+    /// deduplicated, symmetric, self-loop-free).  Used by the compact
+    /// backend's [`crate::CompactGraph::to_graph`]; the invariants are
+    /// asserted in debug builds.
+    pub(crate) fn from_sorted_adjacency(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!({
+            let n = offsets.len() - 1;
+            (0..n).all(|v| {
+                let list = &targets[offsets[v]..offsets[v + 1]];
+                list.windows(2).all(|w| w[0] < w[1])
+                    && list.iter().all(|&u| (u as usize) < n && u as usize != v)
+            })
+        });
+        debug_assert_eq!(targets.len() % 2, 0);
+        let num_edges = targets.len() / 2;
         Graph {
             offsets,
             targets,
-            num_edges: num_edges / 2,
+            num_edges,
         }
     }
 
@@ -132,6 +168,19 @@ impl Graph {
         self.neighbors(u).binary_search(&(v as u32)).is_ok()
     }
 
+    /// Bytes the adjacency arrays occupy (`4` per arc: the `u32` CSR
+    /// target list).  Mirrors [`crate::CompactGraph::adjacency_bytes`]
+    /// so backend footprints compare like for like (experiment E23).
+    pub fn adjacency_bytes(&self) -> usize {
+        self.targets.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes the per-node offset array occupies (`usize` per node + 1).
+    /// Mirrors [`crate::CompactGraph::offset_bytes`].
+    pub fn offset_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.num_nodes()).flat_map(move |u| {
@@ -171,24 +220,68 @@ impl Graph {
     /// `keep` need not be sorted; duplicates are ignored.  The returned
     /// `Vec<usize>` maps new index `i` to the original node id.
     pub fn induced_subgraph(&self, keep: &[usize]) -> (Graph, Vec<usize>) {
-        let keep = crate::node_set(keep.iter().copied());
-        let n = self.num_nodes();
-        let mut new_id = vec![usize::MAX; n];
-        for (i, &v) in keep.iter().enumerate() {
-            assert!(v < n, "node {v} out of range");
-            new_id[v] = i;
-        }
-        let mut edges = Vec::new();
-        for &v in &keep {
-            for u in self.neighbors_iter(v) {
-                if u < v && new_id[u] != usize::MAX {
-                    edges.push((new_id[u], new_id[v]));
-                }
-            }
-        }
-        (Graph::from_edges(keep.len(), edges), keep)
+        crate::subsets::induced_subgraph(self, keep)
     }
 }
+
+impl SequentialGraph for Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    fn for_each_adjacency<F: FnMut(usize, &[u32])>(&self, mut f: F) {
+        for v in 0..Graph::num_nodes(self) {
+            f(v, self.neighbors(v));
+        }
+    }
+}
+
+impl RandomAccessGraph for Graph {
+    type Successors<'a> = SliceSuccessors<'a>;
+
+    fn successors(&self, v: usize) -> SliceSuccessors<'_> {
+        SliceSuccessors {
+            inner: self.neighbors(v).iter(),
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    fn is_connected(&self) -> bool {
+        Graph::is_connected(self)
+    }
+}
+
+/// Sorted successor iterator over a CSR neighbor slice.
+#[derive(Debug, Clone)]
+pub struct SliceSuccessors<'a> {
+    inner: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for SliceSuccessors<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        self.inner.next().map(|&u| u as usize)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SliceSuccessors<'_> {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -6,8 +6,15 @@
 //! `G = (V, E)`.  This crate provides that topology as a compact immutable
 //! CSR structure plus the generic machinery the algorithm crates share:
 //!
-//! * [`Graph`] — immutable undirected graph in compressed-sparse-row form,
-//!   with a [`GraphBuilder`] for incremental construction,
+//! * [`SequentialGraph`] / [`RandomAccessGraph`] — the trait split every
+//!   algorithm is generic over: streamed `(node, sorted-successors)`
+//!   iteration, and per-node `successors`/`degree`/`has_edge` queries,
+//! * [`Graph`] — immutable undirected graph in compressed-sparse-row form
+//!   (the reference backend), with a [`GraphBuilder`] for incremental
+//!   construction of either backend,
+//! * [`CompactGraph`] — the gap-compressed adjacency backend ([`codec`]
+//!   varint/zig-zag byte codes with per-node offsets), convertible
+//!   from/to CSR and encodable in one streaming pass,
 //! * [`traversal`] — BFS/DFS, [`traversal::BfsTree`] (the rooted spanning
 //!   tree `T` of the paper's Section III), connected components,
 //!   distances and diameters,
@@ -40,17 +47,23 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod compact;
 mod dsu;
 mod graph;
+mod traits;
 
+pub mod codec;
 pub mod dot;
 pub mod properties;
 pub mod subsets;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use compact::{CompactGraph, CompactGraphBuilder, CompactSuccessors};
 pub use dsu::DisjointSets;
-pub use graph::Graph;
+pub use graph::{Graph, SliceSuccessors};
+pub use properties::CdsViolation;
+pub use traits::{RandomAccessGraph, SequentialGraph};
 
 /// A set of nodes represented as a sorted, deduplicated `Vec<usize>`.
 ///

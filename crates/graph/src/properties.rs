@@ -4,8 +4,59 @@
 //!
 //! Every algorithm crate verifies its outputs against these reference
 //! predicates, and the property-test suites assert them on random inputs.
+//! All predicates are generic over [`RandomAccessGraph`], so they apply
+//! unchanged to the CSR [`crate::Graph`] and the compressed
+//! [`crate::CompactGraph`] — existing `&Graph` callers compile as before.
 
-use crate::{node_mask, subsets, Graph};
+use std::fmt;
+
+use crate::{node_mask, subsets, RandomAccessGraph};
+
+/// The first violated CDS property of a candidate set, as found by
+/// [`check_cds`].
+///
+/// The `Display` output reproduces the historical string diagnostics
+/// verbatim, so anything that printed the old `Result<(), String>` error
+/// (CLI output, test messages) is unchanged; the variants make the
+/// witness data (node ids, component counts) programmatically available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdsViolation {
+    /// The set is empty while the graph has nodes.
+    EmptySet,
+    /// A set member is not a node of the graph.
+    NotInGraph {
+        /// The first out-of-range member found.
+        node: usize,
+    },
+    /// Some node has no dominator: neither itself nor any neighbor is in
+    /// the set.
+    NotDominating {
+        /// The first node found undominated.
+        node: usize,
+    },
+    /// The subgraph induced by the set is disconnected.
+    NotConnected {
+        /// Number of connected components of the induced subgraph.
+        components: usize,
+    },
+}
+
+impl fmt::Display for CdsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdsViolation::EmptySet => {
+                write!(f, "empty set cannot dominate a non-empty graph")
+            }
+            CdsViolation::NotInGraph { node } => {
+                write!(f, "node {node} is not a node of the graph")
+            }
+            CdsViolation::NotDominating { node } => write!(f, "node {node} is not dominated"),
+            CdsViolation::NotConnected { .. } => write!(f, "induced subgraph is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CdsViolation {}
 
 /// Returns `true` if `set` is a dominating set of `g`: every node outside
 /// `set` has at least one neighbor in `set`.
@@ -19,9 +70,9 @@ use crate::{node_mask, subsets, Graph};
 /// assert!(is_dominating_set(&g, &[0]));
 /// assert!(!is_dominating_set(&g, &[1]));
 /// ```
-pub fn is_dominating_set(g: &Graph, set: &[usize]) -> bool {
+pub fn is_dominating_set<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     let mask = node_mask(g.num_nodes(), set);
-    (0..g.num_nodes()).all(|v| mask[v] || g.neighbors_iter(v).any(|u| mask[u]))
+    (0..g.num_nodes()).all(|v| mask[v] || g.successors(v).any(|u| mask[u]))
 }
 
 /// Returns `true` if `set` is a *connected* dominating set (CDS) of `g`:
@@ -30,23 +81,23 @@ pub fn is_dominating_set(g: &Graph, set: &[usize]) -> bool {
 /// The paper additionally requires a CDS to be non-empty whenever the graph
 /// has nodes (an empty set cannot dominate a non-empty graph, so this is
 /// implied except for the vacuous empty graph).
-pub fn is_connected_dominating_set(g: &Graph, set: &[usize]) -> bool {
+pub fn is_connected_dominating_set<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     let mask = node_mask(g.num_nodes(), set);
     is_dominating_set(g, set) && subsets::is_connected_subset(g, &mask)
 }
 
 /// Returns `true` if `set` is an independent set of `g`: no two members
 /// are adjacent.
-pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+pub fn is_independent_set<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     let mask = node_mask(g.num_nodes(), set);
-    set.iter().all(|&v| g.neighbors_iter(v).all(|u| !mask[u]))
+    set.iter().all(|&v| g.successors(v).all(|u| !mask[u]))
 }
 
 /// Returns `true` if `set` is a *maximal* independent set of `g`:
 /// independent, and every node outside has a neighbor inside (i.e. it is
 /// also a dominating set — the standard equivalence the two-phased
 /// algorithms rely on).
-pub fn is_maximal_independent_set(g: &Graph, set: &[usize]) -> bool {
+pub fn is_maximal_independent_set<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     is_independent_set(g, set) && is_dominating_set(g, set)
 }
 
@@ -57,15 +108,15 @@ pub fn is_maximal_independent_set(g: &Graph, set: &[usize]) -> bool {
 /// The BFS-ordered first-fit MIS of the paper satisfies this (it is what
 /// makes Lemma 9 work: any two components of `G[I ∪ U]` can be bridged by
 /// a single connector).
-pub fn has_two_hop_separation(g: &Graph, set: &[usize]) -> bool {
+pub fn has_two_hop_separation<G: RandomAccessGraph>(g: &G, set: &[usize]) -> bool {
     if set.len() <= 1 {
         return true;
     }
     let mask = node_mask(g.num_nodes(), set);
     set.iter().all(|&u| {
         // Some member at distance exactly 2: a neighbor's neighbor.
-        g.neighbors_iter(u).any(|w| {
-            g.neighbors_iter(w)
+        g.successors(u).any(|w| {
+            g.successors(w)
                 .any(|x| x != u && mask[x] && !g.has_edge(u, x))
         })
     })
@@ -73,30 +124,44 @@ pub fn has_two_hop_separation(g: &Graph, set: &[usize]) -> bool {
 
 /// Counts how many members of `set` dominate node `v` (closed-neighborhood
 /// membership).
-pub fn domination_count(g: &Graph, set: &[usize], v: usize) -> usize {
+pub fn domination_count<G: RandomAccessGraph>(g: &G, set: &[usize], v: usize) -> usize {
     let mask = node_mask(g.num_nodes(), set);
     let self_dom = usize::from(mask[v]);
-    self_dom + g.neighbors_iter(v).filter(|&u| mask[u]).count()
+    self_dom + g.successors(v).filter(|&u| mask[u]).count()
 }
 
 /// Verifies a CDS and explains the first violation found, for debuggable
 /// assertions in tests and the experiment harness.
 ///
-/// Returns `Ok(())` for a valid CDS, or `Err(reason)` naming the violated
-/// property and a witness node.
-pub fn check_cds(g: &Graph, set: &[usize]) -> Result<(), String> {
+/// Returns `Ok(())` for a valid CDS, or the typed [`CdsViolation`] naming
+/// the violated property and a witness.  Unlike the membership-mask
+/// predicates above, out-of-range members are reported as
+/// [`CdsViolation::NotInGraph`] rather than panicking.
+///
+/// # Errors
+///
+/// The first violation in checking order: set well-formedness, then
+/// domination, then induced connectivity.
+pub fn check_cds<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Result<(), CdsViolation> {
     let n = g.num_nodes();
     if n > 0 && set.is_empty() {
-        return Err("empty set cannot dominate a non-empty graph".into());
+        return Err(CdsViolation::EmptySet);
     }
-    let mask = node_mask(n, set);
+    let mut mask = vec![false; n];
+    for &v in set {
+        if v >= n {
+            return Err(CdsViolation::NotInGraph { node: v });
+        }
+        mask[v] = true;
+    }
     for v in 0..n {
-        if !mask[v] && !g.neighbors_iter(v).any(|u| mask[u]) {
-            return Err(format!("node {v} is not dominated"));
+        if !mask[v] && !g.successors(v).any(|u| mask[u]) {
+            return Err(CdsViolation::NotDominating { node: v });
         }
     }
-    if !subsets::is_connected_subset(g, &mask) {
-        return Err("induced subgraph is disconnected".into());
+    let components = subsets::count_components(g, &mask);
+    if components > 1 {
+        return Err(CdsViolation::NotConnected { components });
     }
     Ok(())
 }
@@ -104,6 +169,7 @@ pub fn check_cds(g: &Graph, set: &[usize]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CompactGraph, Graph};
 
     #[test]
     fn domination_on_star_and_path() {
@@ -162,12 +228,63 @@ mod tests {
         let path = Graph::path(5);
         assert!(check_cds(&path, &[1, 2, 3]).is_ok());
         let err = check_cds(&path, &[1, 3]).unwrap_err();
-        assert!(err.contains("disconnected"), "{err}");
+        assert_eq!(err, CdsViolation::NotConnected { components: 2 });
+        assert!(err.to_string().contains("disconnected"), "{err}");
         let err2 = check_cds(&path, &[0, 1]).unwrap_err();
-        assert!(err2.contains("not dominated"), "{err2}");
+        assert_eq!(err2, CdsViolation::NotDominating { node: 3 });
+        assert!(err2.to_string().contains("not dominated"), "{err2}");
         let err3 = check_cds(&path, &[]).unwrap_err();
-        assert!(err3.contains("empty"), "{err3}");
+        assert_eq!(err3, CdsViolation::EmptySet);
+        assert!(err3.to_string().contains("empty"), "{err3}");
         assert!(check_cds(&Graph::empty(0), &[]).is_ok());
+    }
+
+    #[test]
+    fn check_cds_reports_out_of_range_instead_of_panicking() {
+        let path = Graph::path(3);
+        assert_eq!(
+            check_cds(&path, &[1, 9]),
+            Err(CdsViolation::NotInGraph { node: 9 })
+        );
+        assert!(CdsViolation::NotInGraph { node: 9 }
+            .to_string()
+            .contains("node 9"));
+    }
+
+    #[test]
+    fn display_strings_match_the_historical_diagnostics() {
+        assert_eq!(
+            CdsViolation::EmptySet.to_string(),
+            "empty set cannot dominate a non-empty graph"
+        );
+        assert_eq!(
+            CdsViolation::NotDominating { node: 7 }.to_string(),
+            "node 7 is not dominated"
+        );
+        assert_eq!(
+            CdsViolation::NotConnected { components: 3 }.to_string(),
+            "induced subgraph is disconnected"
+        );
+    }
+
+    #[test]
+    fn predicates_agree_across_backends() {
+        let g = Graph::cycle(9);
+        let c = CompactGraph::from_graph(&g);
+        for set in [
+            vec![],
+            vec![0],
+            vec![0, 3, 6],
+            vec![0, 1, 2, 3, 4, 5, 6],
+            (0..9).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(
+                is_connected_dominating_set(&g, &set),
+                is_connected_dominating_set(&c, &set),
+                "{set:?}"
+            );
+            assert_eq!(check_cds(&g, &set), check_cds(&c, &set), "{set:?}");
+        }
     }
 
     #[test]

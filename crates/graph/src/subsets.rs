@@ -5,7 +5,7 @@
 //! connector is adjacent to.  These queries are provided here over a
 //! membership mask, without materializing the induced subgraph.
 
-use crate::{DisjointSets, Graph};
+use crate::{DisjointSets, Graph, RandomAccessGraph};
 
 /// Number of connected components of the subgraph induced by the nodes
 /// with `mask[v] == true`.
@@ -19,7 +19,7 @@ use crate::{DisjointSets, Graph};
 /// let mask = vec![true, false, true, true, false];
 /// assert_eq!(count_components(&g, &mask), 2); // {0} and {2,3}
 /// ```
-pub fn count_components(g: &Graph, mask: &[bool]) -> usize {
+pub fn count_components<G: RandomAccessGraph>(g: &G, mask: &[bool]) -> usize {
     assert_eq!(
         mask.len(),
         g.num_nodes(),
@@ -33,7 +33,7 @@ pub fn count_components(g: &Graph, mask: &[bool]) -> usize {
             continue;
         }
         members += 1;
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if u < v && mask[u] && dsu.union(u, v) {
                 merges += 1;
             }
@@ -44,7 +44,7 @@ pub fn count_components(g: &Graph, mask: &[bool]) -> usize {
 
 /// Returns `true` if the subset given by `mask` induces a connected
 /// subgraph.  The empty subset and singletons are connected by convention.
-pub fn is_connected_subset(g: &Graph, mask: &[bool]) -> bool {
+pub fn is_connected_subset<G: RandomAccessGraph>(g: &G, mask: &[bool]) -> bool {
     count_components(g, mask) <= 1
 }
 
@@ -53,14 +53,14 @@ pub fn is_connected_subset(g: &Graph, mask: &[bool]) -> bool {
 ///
 /// Used by the greedy connector: the *gain* of `w` is
 /// `(number of adjacent components) − 1`.
-pub fn adjacent_components(
-    g: &Graph,
+pub fn adjacent_components<G: RandomAccessGraph>(
+    g: &G,
     mask: &[bool],
     dsu: &mut DisjointSets,
     w: usize,
 ) -> Vec<usize> {
     let mut roots: Vec<usize> = g
-        .neighbors_iter(w)
+        .successors(w)
         .filter(|&u| mask[u])
         .map(|u| dsu.find(u))
         .collect();
@@ -71,7 +71,7 @@ pub fn adjacent_components(
 
 /// Builds a [`DisjointSets`] whose sets are exactly the components of
 /// `G[mask]` (non-members stay singletons).
-pub fn components_dsu(g: &Graph, mask: &[bool]) -> DisjointSets {
+pub fn components_dsu<G: RandomAccessGraph>(g: &G, mask: &[bool]) -> DisjointSets {
     assert_eq!(
         mask.len(),
         g.num_nodes(),
@@ -82,7 +82,7 @@ pub fn components_dsu(g: &Graph, mask: &[bool]) -> DisjointSets {
         if !mask[v] {
             continue;
         }
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if u < v && mask[u] {
                 dsu.union(u, v);
             }
@@ -93,11 +93,11 @@ pub fn components_dsu(g: &Graph, mask: &[bool]) -> DisjointSets {
 
 /// The open neighborhood of a subset: nodes outside `set` adjacent to at
 /// least one member.  Returned sorted.
-pub fn open_neighborhood(g: &Graph, set: &[usize]) -> Vec<usize> {
+pub fn open_neighborhood<G: RandomAccessGraph>(g: &G, set: &[usize]) -> Vec<usize> {
     let mask = crate::node_mask(g.num_nodes(), set);
     let mut out: Vec<usize> = Vec::new();
     for &v in set {
-        for u in g.neighbors_iter(v) {
+        for u in g.successors(v) {
             if !mask[u] {
                 out.push(u);
             }
@@ -109,11 +109,41 @@ pub fn open_neighborhood(g: &Graph, set: &[usize]) -> Vec<usize> {
 }
 
 /// The closed neighborhood of a single node: `{v} ∪ N(v)`, sorted.
-pub fn closed_neighborhood(g: &Graph, v: usize) -> Vec<usize> {
-    let mut out: Vec<usize> = g.neighbors_iter(v).collect();
+pub fn closed_neighborhood<G: RandomAccessGraph>(g: &G, v: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = g.successors(v).collect();
     out.push(v);
     out.sort_unstable();
     out
+}
+
+/// The subgraph induced by `keep` (materialized as a CSR [`Graph`]
+/// regardless of the backend), together with the mapping from new node
+/// indices to original ones.
+///
+/// `keep` need not be sorted; duplicates are ignored.  The returned
+/// `Vec<usize>` maps new index `i` to the original node id.  This is the
+/// generic engine behind [`Graph::induced_subgraph`].
+///
+/// # Panics
+///
+/// Panics if a member of `keep` is out of range.
+pub fn induced_subgraph<G: RandomAccessGraph>(g: &G, keep: &[usize]) -> (Graph, Vec<usize>) {
+    let keep = crate::node_set(keep.iter().copied());
+    let n = g.num_nodes();
+    let mut new_id = vec![usize::MAX; n];
+    for (i, &v) in keep.iter().enumerate() {
+        assert!(v < n, "node {v} out of range");
+        new_id[v] = i;
+    }
+    let mut edges = Vec::new();
+    for &v in &keep {
+        for u in g.successors(v) {
+            if u < v && new_id[u] != usize::MAX {
+                edges.push((new_id[u], new_id[v]));
+            }
+        }
+    }
+    (Graph::from_edges(keep.len(), edges), keep)
 }
 
 #[cfg(test)]

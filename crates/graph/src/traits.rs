@@ -1,0 +1,155 @@
+//! The graph-access trait split: [`SequentialGraph`] for streamed
+//! adjacency scans and [`RandomAccessGraph`] for per-node queries.
+//!
+//! Every algorithm in the workspace needs only sorted neighbor
+//! enumeration; the traits capture exactly that, so the solvers run
+//! unchanged over the reference CSR [`Graph`](crate::Graph) or the
+//! gap-compressed [`CompactGraph`](crate::CompactGraph).  The split
+//! follows the webgraph convention: a *sequential* graph can replay all
+//! adjacencies in node order (enough for conversion, encoding, and
+//! whole-graph statistics), while a *random-access* graph can answer
+//! `successors(v)` for arbitrary `v` (what BFS, first-fit MIS and the
+//! connector phases need).
+//!
+//! All implementations must present the same canonical view: simple,
+//! undirected, nodes `0..n`, neighbor lists sorted ascending with no
+//! duplicates and no self-loops.  Determinism of every solver rests on
+//! that ordering, and the cross-backend byte-identical-solve gate in
+//! `scripts/verify.sh` enforces it end to end.
+
+/// Streamed access to a graph's adjacency lists in node order.
+///
+/// The visitor receives `(node, sorted neighbors)` for every node
+/// `0..num_nodes()`, including isolated ones (with an empty slice).
+pub trait SequentialGraph {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of undirected edges.
+    fn num_edges(&self) -> usize;
+
+    /// Calls `f(v, neighbors)` for every node `v` in increasing order,
+    /// with `neighbors` sorted ascending.
+    fn for_each_adjacency<F: FnMut(usize, &[u32])>(&self, f: F);
+}
+
+/// Per-node random access to sorted neighbor lists.
+///
+/// This is the bound every solver takes.  Implementations provide the
+/// successor iterator and degree; `has_edge` and `is_connected` have
+/// default implementations in terms of them (overridable where a faster
+/// path exists, e.g. binary search on a CSR slice).
+pub trait RandomAccessGraph: SequentialGraph {
+    /// The sorted successor iterator for one node.
+    type Successors<'a>: Iterator<Item = usize> + 'a
+    where
+        Self: 'a;
+
+    /// Iterates over the neighbors of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `v ≥ num_nodes()`.
+    fn successors(&self, v: usize) -> Self::Successors<'_>;
+
+    /// Degree of `v`.
+    fn degree(&self, v: usize) -> usize;
+
+    /// Adjacency test; the default scans the sorted list with early exit.
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        for w in self.successors(u) {
+            if w >= v {
+                return w == v;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the graph is connected (BFS from node 0).
+    ///
+    /// The empty graph and singletons are connected by convention —
+    /// matching [`Graph::is_connected`](crate::Graph::is_connected).
+    fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = stack.pop() {
+            for u in self.successors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    reached += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        reached == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompactGraph, Graph};
+
+    /// Exercises the trait surface through a generic bound only.
+    fn degree_sum<G: RandomAccessGraph>(g: &G) -> usize {
+        (0..g.num_nodes()).map(|v| g.degree(v)).sum()
+    }
+
+    fn collected<G: RandomAccessGraph>(g: &G, v: usize) -> Vec<usize> {
+        g.successors(v).collect()
+    }
+
+    #[test]
+    fn csr_and_compact_agree_through_the_traits() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4), (2, 5)]);
+        let c = CompactGraph::from_graph(&g);
+        assert_eq!(degree_sum(&g), 2 * g.num_edges());
+        assert_eq!(degree_sum(&c), degree_sum(&g));
+        for v in 0..g.num_nodes() {
+            assert_eq!(collected(&g, v), collected(&c, v), "node {v}");
+        }
+        fn conn<G: RandomAccessGraph>(g: &G) -> bool {
+            g.is_connected()
+        }
+        assert!(!conn(&g));
+        assert!(!conn(&c));
+        assert!(conn(&CompactGraph::from_graph(&Graph::path(5))));
+    }
+
+    #[test]
+    fn default_has_edge_early_exits_correctly() {
+        let g = Graph::cycle(7);
+        let c = CompactGraph::from_graph(&g);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(c.has_edge(u, v), g.has_edge(u, v), "({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_visit_covers_every_node_in_order() {
+        let g = Graph::star(5);
+        let mut seen = Vec::new();
+        g.for_each_adjacency(|v, ns| seen.push((v, ns.to_vec())));
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[0].1, vec![1, 2, 3, 4]);
+        assert_eq!(seen[3], (3, vec![0]));
+    }
+
+    #[test]
+    fn trait_connectivity_conventions_match_inherent() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(2)] {
+            let c = CompactGraph::from_graph(&g);
+            assert_eq!(RandomAccessGraph::is_connected(&g), g.is_connected());
+            assert_eq!(RandomAccessGraph::is_connected(&c), g.is_connected());
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! (Section III); [`BfsTree`] is exactly that object, carrying root,
 //! parents, levels and the BFS visit order.
 
-use crate::Graph;
+use crate::RandomAccessGraph;
 
 /// A rooted BFS spanning tree of (one component of) a graph.
 ///
@@ -45,7 +45,7 @@ impl BfsTree {
     /// # Panics
     ///
     /// Panics if `root ≥ g.num_nodes()`.
-    pub fn rooted_at(g: &Graph, root: usize) -> Self {
+    pub fn rooted_at<G: RandomAccessGraph>(g: &G, root: usize) -> Self {
         let n = g.num_nodes();
         assert!(root < n, "root {root} out of range for n = {n}");
         let mut parent = vec![None; n];
@@ -56,7 +56,7 @@ impl BfsTree {
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for u in g.neighbors_iter(v) {
+            for u in g.successors(v) {
                 if level[u] == usize::MAX {
                     level[u] = level[v] + 1;
                     queue.push_back(u);
@@ -68,7 +68,7 @@ impl BfsTree {
             if v == root {
                 continue;
             }
-            parent[v] = g.neighbors_iter(v).find(|&u| level[u] + 1 == level[v]);
+            parent[v] = g.successors(v).find(|&u| level[u] + 1 == level[v]);
         }
         BfsTree {
             root,
@@ -108,7 +108,7 @@ impl BfsTree {
     }
 
     /// Returns `true` if every node of the graph was reached.
-    pub fn spans(&self, g: &Graph) -> bool {
+    pub fn spans<G: RandomAccessGraph>(&self, g: &G) -> bool {
         self.reached() == g.num_nodes()
     }
 
@@ -145,7 +145,7 @@ impl BfsTree {
 /// let comps = connected_components(&g);
 /// assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
 /// ```
-pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+pub fn connected_components<G: RandomAccessGraph>(g: &G) -> Vec<Vec<usize>> {
     let n = g.num_nodes();
     let mut seen = vec![false; n];
     let mut comps = Vec::new();
@@ -158,7 +158,7 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
         seen[s] = true;
         while let Some(v) = stack.pop() {
             comp.push(v);
-            for u in g.neighbors_iter(v) {
+            for u in g.successors(v) {
                 if !seen[u] {
                     seen[u] = true;
                     stack.push(u);
@@ -174,7 +174,7 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
 /// The largest connected component (sorted node list).  Returns an empty
 /// vector for the empty graph.  Ties are broken toward the component with
 /// the smallest minimum node id (the first found).
-pub fn largest_component(g: &Graph) -> Vec<usize> {
+pub fn largest_component<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     connected_components(g)
         .into_iter()
         .max_by(|a, b| a.len().cmp(&b.len()).then(b[0].cmp(&a[0])))
@@ -183,7 +183,7 @@ pub fn largest_component(g: &Graph) -> Vec<usize> {
 
 /// Single-source shortest (hop) distances; `usize::MAX` marks unreachable
 /// nodes.
-pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+pub fn bfs_distances<G: RandomAccessGraph>(g: &G, source: usize) -> Vec<usize> {
     let t = BfsTree::rooted_at(g, source);
     (0..g.num_nodes())
         .map(|v| t.level(v).unwrap_or(usize::MAX))
@@ -197,7 +197,7 @@ pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
 ///
 /// The CDS literature uses `γ_c(G) ≥ diam(G) − 1` as a cheap lower bound;
 /// the experiment harness relies on this function for it.
-pub fn diameter(g: &Graph) -> Option<usize> {
+pub fn diameter<G: RandomAccessGraph>(g: &G) -> Option<usize> {
     let n = g.num_nodes();
     if n == 0 {
         return None;
@@ -217,7 +217,7 @@ pub fn diameter(g: &Graph) -> Option<usize> {
 
 /// Eccentricity of every node (max hop distance to any other node), or
 /// `None` if the graph is disconnected or empty.  `O(n·m)`.
-pub fn eccentricities(g: &Graph) -> Option<Vec<usize>> {
+pub fn eccentricities<G: RandomAccessGraph>(g: &G) -> Option<Vec<usize>> {
     let n = g.num_nodes();
     if n == 0 {
         return None;
@@ -242,14 +242,14 @@ pub fn eccentricities(g: &Graph) -> Option<Vec<usize>> {
 ///
 /// Rooting the BFS phase at a center minimizes tree depth, which the E11
 /// ablation uses to probe root-choice sensitivity.
-pub fn graph_center(g: &Graph) -> Option<usize> {
+pub fn graph_center<G: RandomAccessGraph>(g: &G) -> Option<usize> {
     let ecc = eccentricities(g)?;
     (0..g.num_nodes()).min_by_key(|&v| (ecc[v], v))
 }
 
 /// The graph radius (minimum eccentricity), or `None` if
 /// disconnected/empty.
-pub fn radius(g: &Graph) -> Option<usize> {
+pub fn radius<G: RandomAccessGraph>(g: &G) -> Option<usize> {
     eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
 }
 
@@ -259,7 +259,7 @@ pub fn radius(g: &Graph) -> Option<usize> {
 /// In backbone terms these are the single points of failure: removing
 /// one disconnects its component.  The `node_failure` example and the
 /// robustness analyses use this.
-pub fn articulation_points(g: &Graph) -> Vec<usize> {
+pub fn articulation_points<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let n = g.num_nodes();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![usize::MAX; n];
@@ -270,16 +270,18 @@ pub fn articulation_points(g: &Graph) -> Vec<usize> {
         if disc[root] != usize::MAX {
             continue;
         }
-        // Iterative DFS: stack of (node, parent, neighbor cursor).
-        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        // Iterative DFS: each frame stores the node, its parent, and its
+        // live successor iterator (resumable across pushes — the generic
+        // counterpart of the old CSR cursor).
+        let mut stack: Vec<(usize, usize, G::Successors<'_>)> =
+            vec![(root, usize::MAX, g.successors(root))];
         let mut root_children = 0usize;
         disc[root] = timer;
         low[root] = timer;
         timer += 1;
-        while let Some(&mut (v, parent, ref mut cursor)) = stack.last_mut() {
-            if *cursor < g.degree(v) {
-                let u = g.neighbors(v)[*cursor] as usize;
-                *cursor += 1;
+        while let Some(top) = stack.last_mut() {
+            let (v, parent) = (top.0, top.1);
+            if let Some(u) = top.2.next() {
                 if disc[u] == usize::MAX {
                     disc[u] = timer;
                     low[u] = timer;
@@ -287,13 +289,14 @@ pub fn articulation_points(g: &Graph) -> Vec<usize> {
                     if v == root {
                         root_children += 1;
                     }
-                    stack.push((u, v, 0));
+                    stack.push((u, v, g.successors(u)));
                 } else if u != parent {
                     low[v] = low[v].min(disc[u]);
                 }
             } else {
                 stack.pop();
-                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                if let Some(prev) = stack.last_mut() {
+                    let p = prev.0;
                     low[p] = low[p].min(low[v]);
                     if p != root && low[v] >= disc[p] {
                         is_cut[p] = true;
@@ -313,7 +316,7 @@ pub fn articulation_points(g: &Graph) -> Vec<usize> {
 ///
 /// A bridge in a backbone is a link whose loss splits it; together with
 /// [`articulation_points`] this quantifies backbone fragility.
-pub fn bridges(g: &Graph) -> Vec<(usize, usize)> {
+pub fn bridges<G: RandomAccessGraph>(g: &G) -> Vec<(usize, usize)> {
     let n = g.num_nodes();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![usize::MAX; n];
@@ -323,33 +326,33 @@ pub fn bridges(g: &Graph) -> Vec<(usize, usize)> {
         if disc[root] != usize::MAX {
             continue;
         }
-        // (node, parent, cursor, parent_edge_used): graphs are simple, so
-        // one parent edge exists per child; skip it exactly once to keep
-        // parallel... simple graphs have no parallel edges, so skipping
-        // the single (child, parent) back-edge is correct.
-        let mut stack: Vec<(usize, usize, usize, bool)> = vec![(root, usize::MAX, 0, false)];
+        // (node, parent, successor iterator, parent_edge_used): graphs
+        // are simple, so one parent edge exists per child; skip the single
+        // (child, parent) back-edge exactly once.
+        let mut stack: Vec<(usize, usize, G::Successors<'_>, bool)> =
+            vec![(root, usize::MAX, g.successors(root), false)];
         disc[root] = timer;
         low[root] = timer;
         timer += 1;
-        while let Some(&mut (v, parent, ref mut cursor, ref mut skipped)) = stack.last_mut() {
-            if *cursor < g.degree(v) {
-                let u = g.neighbors(v)[*cursor] as usize;
-                *cursor += 1;
-                if u == parent && !*skipped {
-                    *skipped = true;
+        while let Some(top) = stack.last_mut() {
+            let (v, parent) = (top.0, top.1);
+            if let Some(u) = top.2.next() {
+                if u == parent && !top.3 {
+                    top.3 = true;
                     continue;
                 }
                 if disc[u] == usize::MAX {
                     disc[u] = timer;
                     low[u] = timer;
                     timer += 1;
-                    stack.push((u, v, 0, false));
+                    stack.push((u, v, g.successors(u), false));
                 } else {
                     low[v] = low[v].min(disc[u]);
                 }
             } else {
                 stack.pop();
-                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                if let Some(prev) = stack.last_mut() {
+                    let p = prev.0;
                     low[p] = low[p].min(low[v]);
                     if low[v] > disc[p] {
                         out.push((p.min(v), p.max(v)));
@@ -363,7 +366,7 @@ pub fn bridges(g: &Graph) -> Vec<(usize, usize)> {
 }
 
 /// DFS preorder from `source` (neighbors in sorted order).
-pub fn dfs_preorder(g: &Graph, source: usize) -> Vec<usize> {
+pub fn dfs_preorder<G: RandomAccessGraph>(g: &G, source: usize) -> Vec<usize> {
     let n = g.num_nodes();
     assert!(source < n, "source {source} out of range");
     let mut seen = vec![false; n];
@@ -377,11 +380,15 @@ pub fn dfs_preorder(g: &Graph, source: usize) -> Vec<usize> {
         }
         seen[v] = true;
         out.push(v);
-        for u in g.neighbors(v).iter().rev() {
-            if !seen[*u as usize] {
-                stack.push(*u as usize);
+        let before = stack.len();
+        for u in g.successors(v) {
+            if !seen[u] {
+                stack.push(u);
             }
         }
+        // Reverse the just-pushed block so the smallest neighbor pops
+        // first, matching recursive DFS with sorted lists.
+        stack[before..].reverse();
     }
     out
 }
@@ -389,6 +396,7 @@ pub fn dfs_preorder(g: &Graph, source: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     #[test]
     fn bfs_tree_on_path() {

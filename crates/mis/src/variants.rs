@@ -6,7 +6,7 @@
 //! All of them are thin wrappers over [`crate::first_fit`] with different
 //! scan orders, so the independence/maximality invariants are inherited.
 
-use mcds_graph::Graph;
+use mcds_graph::RandomAccessGraph;
 
 use crate::first_fit;
 
@@ -22,7 +22,7 @@ use crate::first_fit;
 /// let mis = lexicographic_mis(&g);
 /// assert!(properties::is_maximal_independent_set(&g, &mis));
 /// ```
-pub fn lexicographic_mis(g: &Graph) -> Vec<usize> {
+pub fn lexicographic_mis<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let order: Vec<usize> = (0..g.num_nodes()).collect();
     first_fit(g, &order)
 }
@@ -31,7 +31,7 @@ pub fn lexicographic_mis(g: &Graph) -> Vec<usize> {
 ///
 /// Heuristically favors large-coverage dominators; the static analogue of
 /// greedy independent domination.
-pub fn max_degree_mis(g: &Graph) -> Vec<usize> {
+pub fn max_degree_mis<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let mut order: Vec<usize> = (0..g.num_nodes()).collect();
     order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     first_fit(g, &order)
@@ -41,7 +41,7 @@ pub fn max_degree_mis(g: &Graph) -> Vec<usize> {
 ///
 /// The adversarially *bad* order for UDGs — tends to pick boundary nodes —
 /// used in experiments to show the spread between MIS choices.
-pub fn min_degree_mis(g: &Graph) -> Vec<usize> {
+pub fn min_degree_mis<G: RandomAccessGraph>(g: &G) -> Vec<usize> {
     let mut order: Vec<usize> = (0..g.num_nodes()).collect();
     order.sort_by_key(|&v| (g.degree(v), v));
     first_fit(g, &order)
@@ -53,14 +53,14 @@ pub fn min_degree_mis(g: &Graph) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if `order` contains an out-of-range node.
-pub fn ordered_mis(g: &Graph, order: &[usize]) -> Vec<usize> {
+pub fn ordered_mis<G: RandomAccessGraph>(g: &G, order: &[usize]) -> Vec<usize> {
     first_fit(g, order)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcds_graph::properties;
+    use mcds_graph::{properties, Graph};
 
     fn bipartite_double_star() -> Graph {
         // Two hubs (0, 1) joined, each with 4 leaves.

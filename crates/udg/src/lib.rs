@@ -13,6 +13,9 @@
 //!   square/disk, clustered, perturbed grid, linear chains, plus
 //!   connected-instance helpers (resampling and giant-component
 //!   extraction),
+//! * [`stream`] — a grid-sweep streaming builder that relabels nodes in
+//!   sweep order and feeds adjacencies straight into the gap-compressed
+//!   [`mcds_graph::CompactGraph`] backend (million-node instances),
 //! * [`io`] — a minimal plain-text instance format for persisting and
 //!   sharing instances,
 //! * [`analysis`] — instance statistics (degree histograms, clustering,
@@ -46,5 +49,7 @@ pub mod analysis;
 pub mod gen;
 pub mod io;
 pub mod mobility;
+pub mod stream;
 
 pub use model::Udg;
+pub use stream::{stream_build, stream_build_unit, StreamedUdg};

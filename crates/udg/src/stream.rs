@@ -1,0 +1,353 @@
+//! Streaming construction of huge unit-disk graphs directly into the
+//! gap-compressed [`CompactGraph`] backend.
+//!
+//! [`Udg::build`](crate::Udg::build) materializes the whole edge list as
+//! `Vec<(usize, usize)>` before normalizing it into CSR — fine up to a few
+//! hundred thousand nodes, wasteful at millions.  [`stream_build`] avoids
+//! the intermediate entirely:
+//!
+//! 1. points are bucketed into the same radius-sized grid cells the
+//!    [`GridIndex`](mcds_geom::grid::GridIndex) uses, and nodes are
+//!    **relabeled in grid-sweep order** — sorted by `(cell_y, cell_x,
+//!    original index)` — so each grid row occupies a contiguous id range
+//!    and geometric neighbors get nearby ids;
+//! 2. the sweep walks rows top to bottom keeping a **three-row sliding
+//!    window** of per-row cell tables resident, emits each node's full
+//!    sorted adjacency from the 3×3 cell block around it, and feeds it
+//!    straight into the [`CompactGraphBuilder`] varint encoder.
+//!
+//! No `Vec<(u32, u32)>` of edges ever exists; peak transient state is the
+//! reordered points plus three rows of cell ranges.  The relabeling is
+//! also what makes the gap compression effective: consecutive neighbors
+//! within a row differ by small deltas, so most arcs cost one byte
+//! instead of the four a CSR target occupies (measured in experiment E23).
+//!
+//! Edge semantics are identical to [`Udg`](crate::Udg): closed-ball
+//! adjacency `dist² ≤ r² + EPS` with the same grid-cell keying, so
+//! rebuilding a CSR [`Udg`] over [`StreamedUdg::points`] yields exactly
+//! the same graph (asserted by this module's tests and gated end-to-end
+//! by `scripts/verify.sh`).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use mcds_geom::Point;
+use mcds_graph::{CompactGraph, CompactGraphBuilder};
+
+/// Per-row cell table: ascending `(cell_x, id-range)` runs within a row.
+type CellTable = Vec<(i64, Range<usize>)>;
+
+/// A unit-disk instance built by [`stream_build`]: the gap-compressed
+/// graph, the grid-sweep-reordered points, and the relabeling that maps
+/// new node ids back to the caller's original indices.
+///
+/// Node `i` of [`StreamedUdg::graph`] sits at [`StreamedUdg::points`]`[i]`,
+/// which is the caller's point `permutation()[i]`.
+#[derive(Clone)]
+pub struct StreamedUdg {
+    graph: CompactGraph,
+    points: Vec<Point>,
+    perm: Vec<usize>,
+    radius: f64,
+}
+
+impl StreamedUdg {
+    /// The compressed communication topology.
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Node coordinates in grid-sweep order; node `i` sits at index `i`.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Maps new node id `i` to the index of the same point in the input
+    /// of [`stream_build`] (a bijection on `0..n`).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The communication radius used to build the graph.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Consumes the instance, returning `(graph, points, permutation)`.
+    pub fn into_parts(self) -> (CompactGraph, Vec<Point>, Vec<usize>) {
+        (self.graph, self.points, self.perm)
+    }
+}
+
+impl std::fmt::Debug for StreamedUdg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StreamedUdg(n={}, m={}, r={})",
+            self.points.len(),
+            self.graph.num_edges(),
+            self.radius
+        )
+    }
+}
+
+/// Builds the unit-radius disk graph over `points` straight into the
+/// compressed backend; see the [module docs](self) for the construction.
+///
+/// # Panics
+///
+/// Panics if any point has non-finite coordinates.
+pub fn stream_build_unit(points: Vec<Point>) -> StreamedUdg {
+    stream_build(points, 1.0)
+}
+
+/// Builds the radius-`radius` disk graph over `points` straight into the
+/// compressed backend; see the [module docs](self) for the construction.
+///
+/// # Panics
+///
+/// Panics if `radius` is not strictly positive and finite, or if any
+/// point has non-finite coordinates.
+pub fn stream_build(points: Vec<Point>, radius: f64) -> StreamedUdg {
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "communication radius must be positive and finite, got {radius}"
+    );
+    let n = points.len();
+    // Same cell keying as GridIndex: coordinates floored at cell side
+    // `radius`, so the 3×3 block around a node covers its closed disk.
+    let key = |p: Point| -> (i64, i64) {
+        assert!(
+            p.x.is_finite() && p.y.is_finite(),
+            "point has non-finite coordinates: {p:?}"
+        );
+        ((p.x / radius).floor() as i64, (p.y / radius).floor() as i64)
+    };
+    let keys: Vec<(i64, i64)> = points.iter().map(|&p| key(p)).collect();
+
+    // Grid-sweep relabeling: sort node ids by (cell_y, cell_x, id).  Rows
+    // become contiguous id ranges, which both bounds the sliding window
+    // and keeps adjacency gaps small for the varint encoder.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let (cx, cy) = keys[i as usize];
+        (cy, cx, i)
+    });
+    let pts: Vec<Point> = order.iter().map(|&i| points[i as usize]).collect();
+    let ks: Vec<(i64, i64)> = order.iter().map(|&i| keys[i as usize]).collect();
+    drop(points);
+    drop(keys);
+
+    // Row boundaries: maximal runs of equal cell_y in the new order.
+    let mut rows: Vec<(i64, Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    for v in 1..=n {
+        if v == n || ks[v].1 != ks[start].1 {
+            rows.push((ks[start].1, start..v));
+            start = v;
+        }
+    }
+
+    // Per-row cell table: maximal runs of equal cell_x, sorted by cell_x
+    // (the sweep order guarantees it).  Built lazily, three rows resident.
+    let cells_of = |row: &Range<usize>| -> CellTable {
+        let mut cells = Vec::new();
+        let mut s = row.start;
+        for v in (row.start + 1)..=row.end {
+            if v == row.end || ks[v].0 != ks[s].0 {
+                cells.push((ks[s].0, s..v));
+                s = v;
+            }
+        }
+        cells
+    };
+    let mut window: VecDeque<(usize, CellTable)> = VecDeque::new();
+
+    let mut b = CompactGraphBuilder::new(n);
+    let r_sq = radius * radius + mcds_geom::EPS;
+    let mut nbrs: Vec<u32> = Vec::new();
+    for ri in 0..rows.len() {
+        // Slide the window to rows ri−1 ..= ri+1.
+        while window.front().is_some_and(|&(i, _)| i + 1 < ri) {
+            window.pop_front();
+        }
+        let lo = ri.saturating_sub(1);
+        let hi = (ri + 1).min(rows.len() - 1);
+        for (i, row) in rows.iter().enumerate().take(hi + 1).skip(lo) {
+            if window.iter().all(|&(j, _)| j != i) {
+                window.push_back((i, cells_of(&row.1)));
+            }
+        }
+
+        let row_cy = rows[ri].0;
+        for v in rows[ri].1.clone() {
+            let (cx, _) = ks[v];
+            nbrs.clear();
+            // Window rows ascend in id range and cells ascend in cell_x,
+            // so pushing in this order yields a sorted adjacency — no
+            // per-node sort needed.
+            for &(rj, ref cells) in &window {
+                if (rows[rj].0 - row_cy).abs() > 1 {
+                    continue; // adjacent row index, but an empty band skipped ≥ 2 cells
+                }
+                for target in cx - 1..=cx + 1 {
+                    if let Ok(pos) = cells.binary_search_by_key(&target, |c| c.0) {
+                        for u in cells[pos].1.clone() {
+                            if u != v && pts[u].dist_sq(pts[v]) <= r_sq {
+                                nbrs.push(u as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            b.push_adjacency(&nbrs);
+        }
+    }
+
+    let perm: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
+    StreamedUdg {
+        graph: b.finish(),
+        points: pts,
+        perm,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Udg;
+    use mcds_graph::RandomAccessGraph;
+
+    fn pseudo_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * side, next() * side))
+            .collect()
+    }
+
+    #[test]
+    fn streamed_graph_matches_csr_rebuild_over_its_points() {
+        for seed in [3u64, 11, 42] {
+            let pts = pseudo_points(250, 5.0, seed);
+            let streamed = stream_build(pts, 1.0);
+            let csr = Udg::with_radius(streamed.points().to_vec(), 1.0);
+            assert_eq!(
+                &streamed.graph().to_graph(),
+                csr.graph(),
+                "seed {seed}: streamed compact != CSR over the same points"
+            );
+        }
+    }
+
+    #[test]
+    fn relabeling_is_a_bijection_preserving_geometry() {
+        let pts = pseudo_points(120, 4.0, 7);
+        let streamed = stream_build(pts.clone(), 1.0);
+        let mut seen = vec![false; pts.len()];
+        for (new_id, &orig) in streamed.permutation().iter().enumerate() {
+            assert!(!seen[orig], "original index {orig} mapped twice");
+            seen[orig] = true;
+            assert_eq!(streamed.points()[new_id], pts[orig]);
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn streamed_graph_is_isomorphic_to_direct_build() {
+        // Relabeling permutes node ids, so compare label-free invariants
+        // against the direct CSR build over the original ordering.
+        let pts = pseudo_points(300, 5.5, 13);
+        let direct = Udg::with_radius(pts.clone(), 1.0);
+        let streamed = stream_build(pts, 1.0);
+        assert_eq!(streamed.graph().num_nodes(), direct.graph().num_nodes());
+        assert_eq!(streamed.graph().num_edges(), direct.graph().num_edges());
+        let mut a: Vec<usize> = (0..direct.graph().num_nodes())
+            .map(|v| direct.graph().degree(v))
+            .collect();
+        let mut b: Vec<usize> = (0..streamed.graph().num_nodes())
+            .map(|v| streamed.graph().degree(v))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "degree multisets differ");
+        assert_eq!(
+            direct.graph().is_connected(),
+            streamed.graph().is_connected()
+        );
+    }
+
+    #[test]
+    fn closed_ball_boundary_semantics_match_udg() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0 + 1e-6, 0.0),
+        ];
+        let streamed = stream_build(pts, 1.0);
+        // Distance exactly 1 is an edge; 1 + 1e-6 is not.
+        assert_eq!(streamed.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = stream_build(Vec::new(), 1.0);
+        assert!(e.is_empty());
+        assert_eq!(e.graph().num_nodes(), 0);
+        let s = stream_build_unit(vec![Point::ORIGIN]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.graph().num_edges(), 0);
+        assert_eq!(s.permutation(), &[0]);
+    }
+
+    #[test]
+    fn negative_coordinates_and_sparse_rows() {
+        // Points straddling cell (0,0) with an empty row band in between:
+        // the window must not bridge rows two cells apart.
+        let pts = vec![
+            Point::new(-0.5, -0.5),
+            Point::new(0.5, 0.5),
+            Point::new(0.5, 3.5), // isolated: empty rows 1 and 2 in between
+        ];
+        let streamed = stream_build(pts, 1.0);
+        let csr = Udg::with_radius(streamed.points().to_vec(), 1.0);
+        assert_eq!(&streamed.graph().to_graph(), csr.graph());
+        assert_eq!(streamed.graph().degree(2), 0);
+    }
+
+    #[test]
+    fn custom_radius_matches_udg() {
+        let pts = pseudo_points(150, 12.0, 21);
+        let streamed = stream_build(pts, 2.5);
+        let csr = Udg::with_radius(streamed.points().to_vec(), 2.5);
+        assert_eq!(&streamed.graph().to_graph(), csr.graph());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        let _ = stream_build(vec![Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_point_rejected() {
+        let _ = stream_build(vec![Point::new(f64::NAN, 0.0)], 1.0);
+    }
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment artifact of the reproduction (E1-E21).
+# Regenerates every experiment artifact of the reproduction (E1-E23).
 # Usage: ./run_experiments.sh [--quick] [--skip-verify] [outdir]
 # (default outdir: results)
 set -euo pipefail
@@ -21,7 +21,8 @@ fi
 exps=(exp_fig1 exp_fig2 exp_bounds exp_waf_ratio exp_greedy_ratio exp_compare
       exp_distributed exp_conjecture exp_lemmas exp_area exp_root_ablation
       exp_broadcast exp_routing exp_mobility exp_election exp_anatomy
-      exp_churn exp_build_scaling exp_profile exp_fault exp_serve)
+      exp_churn exp_build_scaling exp_profile exp_fault exp_serve
+      exp_substrate)
 for e in "${exps[@]}"; do
   echo "### $e"
   cargo run --quiet --release -p mcds-bench --bin "$e" -- $quick --out "$out"

@@ -104,6 +104,20 @@ diff "$det_dir/solve_batch.json" "$det_dir/solve_daemon.json"
 wait "$serve_pid"
 echo "daemon solve byte-identical to batch CLI; clean shutdown"
 
+echo "== substrate: compact backend byte-identical to CSR, E23 smoke =="
+cargo run --quiet --release -p mcds-cli -- gen --n 150 --side 6.5 --seed 23 \
+  --connected -o "$det_dir/substrate.udg" > /dev/null
+cargo run --quiet --release -p mcds-cli -- solve "$det_dir/substrate.udg" \
+  --alg all --prune --json > "$det_dir/solve_csr.json"
+cargo run --quiet --release -p mcds-cli -- solve "$det_dir/substrate.udg" \
+  --alg all --prune --json --backend compact > "$det_dir/solve_compact.json"
+diff "$det_dir/solve_csr.json" "$det_dir/solve_compact.json"
+echo "solve --json byte-identical on both backends"
+# Bounded E23 smoke: streaming build + cross-backend solve + the >= 3x
+# adjacency compression gate, at quick-ladder sizes.
+cargo run --quiet --release -p mcds-bench --bin exp_substrate -- --quick \
+  > /dev/null
+
 echo "== grid vs naive speedup smoke (n=20k, release) =="
 cargo test --quiet --release -p mcds-udg --test grid_equivalence -- \
   --ignored grid_beats_naive_5x_at_20k
