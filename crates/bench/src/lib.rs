@@ -10,12 +10,15 @@
 //!   `--out`),
 //! * [`Table`] — aligned fixed-width table printing,
 //! * [`CsvWriter`] — dependency-free CSV emission,
-//! * [`stats`] — mean / max / std summaries.
+//! * [`stats`] — mean / max / std summaries,
+//! * [`trajectory`] — the perf-trajectory ledger (`BENCH_trajectory.jsonl`)
+//!   behind the `trajectory record|compare|check` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod sweeps;
+pub mod trajectory;
 
 use std::fs;
 use std::io::Write as _;

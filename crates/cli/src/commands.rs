@@ -844,6 +844,9 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
             "requests",
             "churn-every",
             "side",
+            "top",
+            "interval-ms",
+            "count",
         ],
         &[],
     )?;
@@ -853,6 +856,9 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     if let Some(addr) = args.value("bench") {
         return serve_bench(addr, &args);
     }
+    if let Some(addr) = args.value("top") {
+        return serve_top(addr, &args);
+    }
     let udg = load(&args)?;
     let m = parse_m(&args)?;
     let threads: usize = args.parsed_or("threads", mcds_pool::default_parallelism())?;
@@ -860,10 +866,18 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage("--threads must be at least 1".into()));
     }
     let addr = args.value("addr").unwrap_or("127.0.0.1:0");
+    // The daemon's metrics endpoints (JSONL `{"op":"metrics"}` and HTTP
+    // `GET /metrics`) need the subscriber on.  Span/log events are only
+    // worth buffering when the global `--trace` flag already enabled the
+    // subscriber (main.rs flushes them to the trace file on exit);
+    // otherwise the accept loop discards them to bound daemon memory.
+    let retain_trace = mcds_obs::enabled();
+    mcds_obs::enable();
     let cfg = mcds_serve::ServeConfig {
         radius: udg.radius(),
         m,
         threads,
+        retain_trace,
         ..mcds_serve::ServeConfig::default()
     };
     let server = mcds_serve::Server::bind(addr, cfg, udg.points().to_vec())
@@ -951,16 +965,175 @@ fn serve_bench(addr: &str, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One histogram snapshot: `(count, sum, nonzero log2 buckets)`.
+type HistSnapshot = (u64, u64, Vec<(usize, u64)>);
+
+/// One parsed `{"op":"metrics"}` response: counter/gauge totals plus
+/// histogram `(count, sum, log2 buckets)` triples, in response order.
+struct TopSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, HistSnapshot)>,
+}
+
+fn parse_top_snapshot(line: &str) -> Result<TopSnapshot, CliError> {
+    use mcds_serve::json::Value;
+    let doc = Value::parse(line).map_err(|e| CliError::Runtime(format!("metrics reply: {e}")))?;
+    let section = |key: &str| -> Result<Vec<(String, Value)>, CliError> {
+        match doc.get(key) {
+            Some(Value::Obj(entries)) => Ok(entries.clone()),
+            _ => Err(CliError::Runtime(format!(
+                "metrics reply has no `{key}` object: {line}"
+            ))),
+        }
+    };
+    let counters = section("counters")?
+        .into_iter()
+        .filter_map(|(k, v)| Some((k, v.as_u64()?)))
+        .collect();
+    let gauges = section("gauges")?
+        .into_iter()
+        .filter_map(|(k, v)| Some((k, v.as_f64()? as i64)))
+        .collect();
+    let hists = section("hists")?
+        .into_iter()
+        .filter_map(|(k, v)| {
+            let count = v.get("count")?.as_u64()?;
+            let sum = v.get("sum")?.as_u64()?;
+            let buckets = v
+                .get("buckets")?
+                .as_arr()?
+                .iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_arr()?;
+                    Some((pair.first()?.as_usize()?, pair.get(1)?.as_u64()?))
+                })
+                .collect();
+            Some((k, (count, sum, buckets)))
+        })
+        .collect();
+    Ok(TopSnapshot {
+        counters,
+        gauges,
+        hists,
+    })
+}
+
+/// The `serve --top` live dashboard: polls `{"op":"metrics"}` on an
+/// interval and renders totals plus per-window deltas (rates, and
+/// p50/p99 estimated from histogram bucket deltas) as plain redrawn
+/// text.  `--count 0` polls until the connection drops.
+fn serve_top(addr: &str, args: &Args) -> Result<(), CliError> {
+    let interval_ms: u64 = args.parsed_or("interval-ms", 1000)?;
+    let count: u64 = args.parsed_or("count", 0)?;
+    if interval_ms == 0 {
+        return Err(CliError::Usage("--interval-ms must be at least 1".into()));
+    }
+    let mut client =
+        mcds_serve::Client::connect(addr).map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+    let mut prev: Option<(std::time::Instant, TopSnapshot)> = None;
+    let mut poll = 0u64;
+    loop {
+        poll += 1;
+        let line = client
+            .request(r#"{"op":"metrics"}"#)
+            .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+        let now = std::time::Instant::now();
+        let snap = parse_top_snapshot(&line)?;
+        let window = prev
+            .as_ref()
+            .map(|(t, _)| now.duration_since(*t).as_secs_f64());
+        print_top(addr, poll, &snap, prev.as_ref().map(|(_, s)| s), window);
+        prev = Some((now, snap));
+        if count > 0 && poll >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+fn print_top(
+    addr: &str,
+    poll: u64,
+    snap: &TopSnapshot,
+    prev: Option<&TopSnapshot>,
+    window_s: Option<f64>,
+) {
+    match window_s {
+        Some(w) => println!("mcds top @ {addr} — poll {poll}, window {w:.2}s"),
+        None => println!("mcds top @ {addr} — poll {poll} (first sample; rates need a window)"),
+    }
+    let prev_counter = |name: &str| -> u64 {
+        prev.and_then(|p| p.counters.iter().find(|(k, _)| k == name))
+            .map_or(0, |(_, v)| *v)
+    };
+    let prev_buckets = |name: &str| -> Vec<(usize, u64)> {
+        prev.and_then(|p| p.hists.iter().find(|(k, _)| k == name))
+            .map_or_else(Vec::new, |(_, (_, _, b))| b.clone())
+    };
+    println!("{:<28} {:>12} {:>10}", "counters", "total", "rate/s");
+    for (name, total) in &snap.counters {
+        let rate = match window_s {
+            Some(w) if w > 0.0 => {
+                format!("{:.1}", total.saturating_sub(prev_counter(name)) as f64 / w)
+            }
+            _ => "-".to_string(),
+        };
+        println!("  {name:<26} {total:>12} {rate:>10}");
+    }
+    if !snap.gauges.is_empty() {
+        println!("{:<28} {:>12}", "gauges", "value");
+        for (name, value) in &snap.gauges {
+            println!("  {name:<26} {value:>12}");
+        }
+    }
+    println!(
+        "{:<28} {:>12} {:>10} {:>10} {:>8}",
+        "hists", "count", "p50", "p99", "window"
+    );
+    for (name, (count, _sum, buckets)) in &snap.hists {
+        // Quantiles over the *window*: subtract the previous poll's
+        // bucket counts, then read nearest-rank quantiles off the log2
+        // buckets (upper bounds — ~2x resolution).
+        let base = prev_buckets(name);
+        let delta: Vec<(usize, u64)> = buckets
+            .iter()
+            .map(|&(b, c)| {
+                let old = base.iter().find(|&&(ob, _)| ob == b).map_or(0, |&(_, c)| c);
+                (b, c.saturating_sub(old))
+            })
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        let in_window: u64 = delta.iter().map(|&(_, c)| c).sum();
+        let (p50, p99) = if in_window > 0 {
+            (
+                mcds_obs::bucket_quantile(&delta, 50),
+                mcds_obs::bucket_quantile(&delta, 99),
+            )
+        } else {
+            (
+                mcds_obs::bucket_quantile(buckets, 50),
+                mcds_obs::bucket_quantile(buckets, 99),
+            )
+        };
+        println!("  {name:<26} {count:>12} {p50:>10} {p99:>10} {in_window:>8}");
+    }
+    println!();
+}
+
 /// `trace`: inspect a JSONL trace produced by the global `--trace` flag.
 ///
 /// * `trace check FILE` — validate every line against the `mcds-obs`
 ///   schema (the checker `scripts/verify.sh` runs in CI).
 /// * `trace summarize FILE` — aggregate span records by nesting path and
 ///   print the per-span wall-time breakdown.
+/// * `trace flame FILE [--folded OUT] [--svg OUT]` — fold the span tree
+///   into per-label *self* time, write the collapsed-stack file and an
+///   SVG flamegraph, and report how much root wall time was attributed.
 pub fn trace(argv: &[String]) -> Result<(), CliError> {
     let verb = argv
         .first()
-        .ok_or_else(|| CliError::Usage("trace needs summarize|check FILE.jsonl".into()))?;
+        .ok_or_else(|| CliError::Usage("trace needs summarize|check|flame FILE.jsonl".into()))?;
     let path = argv
         .get(1)
         .ok_or_else(|| CliError::Usage(format!("trace {verb} needs a FILE.jsonl")))?;
@@ -1026,10 +1199,81 @@ pub fn trace(argv: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "flame" => trace_flame(path, &argv[2..], &text),
         other => Err(CliError::Usage(format!(
-            "unknown trace verb `{other}` (want summarize|check)"
+            "unknown trace verb `{other}` (want summarize|check|flame)"
         ))),
     }
+}
+
+/// The `trace flame` verb body: profile attribution + collapsed-stack +
+/// SVG export.  Output paths default to `FILE.folded` / `FILE.svg`.
+fn trace_flame(path: &str, rest: &[String], text: &str) -> Result<(), CliError> {
+    let args = Args::parse(rest, &["folded", "svg"], &[])?;
+    let profile = mcds_obs::profile::Profile::from_trace(text)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    if profile.frames.is_empty() {
+        println!("{path}: no span records (was the traced run instrumented?)");
+        return Ok(());
+    }
+
+    let labels = profile.labels();
+    let mut table = mcds_bench::Table::new(&["label", "calls", "self ms", "total ms", "self %"]);
+    let attributed = profile.attributed_ns();
+    for l in &labels {
+        table.row(&[
+            l.label.clone(),
+            l.count.to_string(),
+            format!("{:.3}", l.self_ns as f64 / 1e6),
+            format!("{:.3}", l.total_ns as f64 / 1e6),
+            if attributed == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * l.self_ns as f64 / attributed as f64)
+            },
+        ]);
+    }
+    println!("{path}: self-time attribution (self % = of attributed time)");
+    table.print();
+
+    let folded_path = args
+        .value("folded")
+        .map_or_else(|| format!("{path}.folded"), str::to_string);
+    std::fs::write(&folded_path, profile.collapsed())
+        .map_err(|e| CliError::Runtime(format!("{folded_path}: {e}")))?;
+
+    let stacks: Vec<(String, u64)> = profile
+        .frames
+        .iter()
+        .map(|f| (f.path.replace('/', ";"), f.self_ns))
+        .collect();
+    let title = format!(
+        "{path} — {:.3} ms root wall",
+        profile.root_total_ns as f64 / 1e6
+    );
+    let svg_path = args
+        .value("svg")
+        .map_or_else(|| format!("{path}.svg"), str::to_string);
+    std::fs::write(&svg_path, mcds_viz::flame::render_flame(&stacks, &title))
+        .map_err(|e| CliError::Runtime(format!("{svg_path}: {e}")))?;
+
+    println!(
+        "wrote {folded_path} ({} stacks) and {svg_path}",
+        stacks.len()
+    );
+    // The attribution identity — Σ self over all frames vs. Σ root span
+    // wall — is the acceptance gate verify.sh parses off this line.
+    let share = if profile.root_total_ns == 0 {
+        100.0
+    } else {
+        100.0 * attributed as f64 / profile.root_total_ns as f64
+    };
+    println!(
+        "attributed {:.3} ms of {:.3} ms root wall ({share:.1}%)",
+        attributed as f64 / 1e6,
+        profile.root_total_ns as f64 / 1e6
+    );
+    Ok(())
 }
 
 /// The final `/`-separated segment of a span path.
@@ -1413,5 +1657,97 @@ mod tests {
             Err(CliError::Runtime(_))
         ));
         assert!(matches!(stats(&sv(&[])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn trace_flame_writes_folded_and_svg() {
+        // A hand-written trace with a well-formed span tree: one root
+        // `solve` span (100µs) covering `phase1` (60µs, with a nested
+        // `scan` of 20µs) and `phase2` (30µs), leaving 10µs of root
+        // self time.  Hand-writing keeps the test independent of the
+        // global tracing gate other tests toggle concurrently.
+        let f = tmp("flame_in.jsonl");
+        let trace_text = "\
+{\"type\":\"meta\",\"version\":1,\"clock\":\"monotonic-ns\"}\n\
+{\"type\":\"span\",\"seq\":0,\"thread\":0,\"depth\":2,\"name\":\"scan\",\"path\":\"solve/phase1/scan\",\"dur_ns\":20000}\n\
+{\"type\":\"span\",\"seq\":1,\"thread\":0,\"depth\":1,\"name\":\"phase1\",\"path\":\"solve/phase1\",\"dur_ns\":60000}\n\
+{\"type\":\"span\",\"seq\":2,\"thread\":0,\"depth\":1,\"name\":\"phase2\",\"path\":\"solve/phase2\",\"dur_ns\":30000}\n\
+{\"type\":\"span\",\"seq\":3,\"thread\":0,\"depth\":0,\"name\":\"solve\",\"path\":\"solve\",\"dur_ns\":100000}\n";
+        std::fs::write(&f, trace_text).unwrap();
+        let folded = tmp("flame_out.folded");
+        let svg = tmp("flame_out.svg");
+        trace(&sv(&["flame", &f, "--folded", &folded, "--svg", &svg])).unwrap();
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        // Self times: scan 20µs, phase1 60-20=40µs, phase2 30µs,
+        // solve 100-90=10µs — and they sum back to the root wall.
+        assert!(folded_text.contains("solve;phase1;scan 20000"));
+        assert!(folded_text.contains("solve;phase1 40000"));
+        assert!(folded_text.contains("solve;phase2 30000"));
+        assert!(folded_text.contains("solve 10000"));
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        assert!(svg_text.contains("phase1"));
+        // Default output paths derive from the input path.
+        trace(&sv(&["flame", &f])).unwrap();
+        assert!(std::path::Path::new(&format!("{f}.folded")).exists());
+        assert!(std::path::Path::new(&format!("{f}.svg")).exists());
+        // Bad verbs and absent files fail with the right error class.
+        assert!(matches!(
+            trace(&sv(&["flamegraph", &f])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            trace(&sv(&["flame", "/nonexistent/t.jsonl"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn top_snapshot_parses_metrics_reply() {
+        let line = concat!(
+            "{\"ok\":true,\"op\":\"metrics\",",
+            "\"counters\":{\"serve.requests\":10},",
+            "\"gauges\":{\"pool.queue\":-2},",
+            "\"hists\":{\"serve.request_ns\":",
+            "{\"count\":3,\"sum\":99,\"max\":50,\"buckets\":[[1,1],[5,2]]}}}"
+        );
+        let snap = parse_top_snapshot(line).unwrap();
+        assert_eq!(snap.counters, vec![("serve.requests".to_string(), 10)]);
+        assert_eq!(snap.gauges, vec![("pool.queue".to_string(), -2)]);
+        assert_eq!(
+            snap.hists,
+            vec![(
+                "serve.request_ns".to_string(),
+                (3, 99, vec![(1, 1), (5, 2)])
+            )]
+        );
+        // A reply without metrics sections is a runtime error, not a panic.
+        assert!(matches!(
+            parse_top_snapshot(r#"{"ok":false,"error":"nope"}"#),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn serve_top_polls_a_live_server() {
+        let server = mcds_serve::Server::bind(
+            "127.0.0.1:0",
+            mcds_serve::ServeConfig::default(),
+            (0..12)
+                .map(|i| mcds_geom::Point::new(i as f64 * 0.8, 0.0))
+                .collect(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        serve(&sv(&["--top", &addr, "--interval-ms", "5", "--count", "2"])).unwrap();
+        let mut client = mcds_serve::Client::connect(&addr).unwrap();
+        client.request(r#"{"op":"shutdown"}"#).unwrap();
+        handle.join().unwrap();
+        // Interval validation happens before any connection attempt.
+        assert!(matches!(
+            serve(&sv(&["--top", "127.0.0.1:9", "--interval-ms", "0"])),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -137,9 +137,12 @@ usage:
                   [--threads T] [--verbose]
                   [--waypoint [--speed-min V] [--speed-max V] [--pause T] [--dt T]]
   mcds-cli serve  FILE [--addr HOST:PORT] [--m 1|2|3] [--threads T]
+                  (daemon also answers raw HTTP GET /metrics on the same port)
   mcds-cli serve  --connect HOST:PORT        (JSONL client: stdin -> stdout)
   mcds-cli serve  --bench HOST:PORT [--clients C] [--requests R] [--churn-every K]
+  mcds-cli serve  --top HOST:PORT [--interval-ms MS] [--count N]
   mcds-cli trace  summarize|check FILE.jsonl
+  mcds-cli trace  flame FILE.jsonl [--folded OUT] [--svg OUT]
 
 global flags (any subcommand):
   --trace FILE.jsonl   record spans/counters/logs and write the trace on exit

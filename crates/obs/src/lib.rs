@@ -11,6 +11,10 @@
 //! * **JSONL traces** ([`trace`]) — a deterministic-field-order export
 //!   of spans, logs and metric snapshots; [`schema`] carries the
 //!   matching validator and span-tree summarizer.
+//! * **Profiles & exposition** ([`profile`], [`metrics_text`]) —
+//!   self-time folding of a trace's span tree into per-label stats and
+//!   collapsed stacks, plus Prometheus text-format rendering of the
+//!   registry for the serve daemon's `/metrics` endpoint.
 //! * **Leveled logging** ([`log`], [`warn!`]/[`error!`]/[`info!`]) —
 //!   stderr diagnostics under a runtime threshold, captured into traces.
 //!
@@ -38,14 +42,16 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod log;
+pub mod profile;
 pub mod registry;
 pub mod schema;
 mod span;
 pub mod trace;
 
 pub use registry::{
-    counter, counter_add, counter_value, gauge, gauge_set, histogram, observe, observe_duration,
-    Counter, Gauge, Histogram,
+    bucket_quantile, counter, counter_add, counter_value, gauge, gauge_set, histogram,
+    metrics_text, observe, observe_duration, percentile, sanitize_metric_name, Counter, Gauge,
+    Histogram,
 };
 pub use span::{span, thread_id, SpanGuard};
 

@@ -265,6 +265,118 @@ pub fn counter_value(name: &str) -> u64 {
     counter(name).value()
 }
 
+/// Nearest-rank percentile of an already-sorted sample: the smallest
+/// element whose rank covers `pct` percent of the data (0 for an empty
+/// slice).  `percentile(s, 50)` is the median, `percentile(s, 100)` the
+/// maximum.  Shared by the serve bench client and the `top` dashboard.
+pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * pct as usize).div_ceil(100);
+    sorted[rank.max(1).min(sorted.len()) - 1]
+}
+
+/// Nearest-rank quantile estimated from log2 `(bucket index, count)`
+/// pairs (as produced by [`Histogram::nonzero_buckets`]): the upper
+/// bound of the bucket where the cumulative count first reaches the
+/// target rank, i.e. an upper estimate with at most one-bucket (2×)
+/// resolution.  Returns 0 when the counts are all zero.
+pub fn bucket_quantile(buckets: &[(usize, u64)], pct: u32) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * u64::from(pct)).div_ceil(100).max(1);
+    let mut cum = 0u64;
+    for &(b, c) in buckets {
+        cum += c;
+        if cum >= rank {
+            return bucket_range(b).1;
+        }
+    }
+    bucket_range(buckets.last().map_or(0, |&(b, _)| b)).1
+}
+
+/// Maps an internal dotted metric name (`serve.request_ns`) onto the
+/// Prometheus metric-name charset `[a-zA-Z0-9_:]`: every other character
+/// becomes `_`, and a `_` is prefixed when the result would start with a
+/// digit (or be empty).  Deterministic and idempotent; distinct inputs
+/// may collide — [`metrics_text`] dedupes with numeric suffixes.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (version 0.0.4): counters as `mcds_<name>_total`, gauges bare,
+/// histograms as cumulative `_bucket{le="..."}` series (one per occupied
+/// log2 bucket, upper bound inclusive) plus `_sum` and `_count`.  Names
+/// go through [`sanitize_metric_name`] under the `mcds_` namespace;
+/// post-sanitization collisions get `_2`, `_3`, … suffixes in registry
+/// (sorted-name) order so the output is deterministic.
+pub fn metrics_text() -> String {
+    let reg = registry();
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let unique = |san: String, used: &mut std::collections::BTreeSet<String>| -> String {
+        if used.insert(san.clone()) {
+            return san;
+        }
+        let mut k = 2usize;
+        loop {
+            let candidate = format!("{san}_{k}");
+            if used.insert(candidate.clone()) {
+                return candidate;
+            }
+            k += 1;
+        }
+    };
+    let mut out = String::new();
+    for (name, value) in reg.counter_snapshot() {
+        let base = unique(format!("mcds_{}", sanitize_metric_name(&name)), &mut used);
+        out.push_str(&format!(
+            "# TYPE {base}_total counter\n{base}_total {value}\n"
+        ));
+    }
+    for (name, value) in reg.gauge_snapshot() {
+        let base = unique(format!("mcds_{}", sanitize_metric_name(&name)), &mut used);
+        out.push_str(&format!("# TYPE {base} gauge\n{base} {value}\n"));
+    }
+    for (name, hist) in reg.histogram_snapshot() {
+        let base = unique(format!("mcds_{}", sanitize_metric_name(&name)), &mut used);
+        out.push_str(&format!("# TYPE {base} histogram\n"));
+        let mut cum = 0u64;
+        for (b, c) in hist.nonzero_buckets() {
+            cum += c;
+            if b == BUCKETS - 1 {
+                // The last log2 bucket is unbounded — it *is* +Inf.
+                continue;
+            }
+            let le = bucket_range(b).1;
+            out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!(
+            "{base}_bucket{{le=\"+Inf\"}} {}\n{base}_sum {}\n{base}_count {}\n",
+            hist.count(),
+            hist.sum(),
+            hist.count()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +431,106 @@ mod tests {
         let g = gauge("test.registry.gauge");
         g.set(-9);
         assert_eq!(gauge("test.registry.gauge").value(), -9);
+    }
+
+    #[test]
+    fn edge_values_land_in_well_defined_buckets() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        // 0 → bucket 0 ([0,0]); 1 → bucket 1 ([1,1]); u64::MAX → the
+        // last bucket, whose range tops out at u64::MAX exactly.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (BUCKETS - 1, 1)]);
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(BUCKETS - 1).1, u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(1)); // sum wraps by design of AtomicU64
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let h = histogram("test.registry.prom_edge");
+        for v in [0, 1, 1, 7, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        let text = metrics_text();
+        let prefix = "mcds_test_registry_prom_edge_bucket{le=\"";
+        let mut counts = Vec::new();
+        let mut les = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(prefix) {
+                let (le, count) = rest.split_once("\"} ").unwrap();
+                les.push(le.to_string());
+                counts.push(count.parse::<u64>().unwrap());
+            }
+        }
+        // Cumulative counts are monotone nondecreasing and end at count.
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(les.last().map(String::as_str), Some("+Inf"));
+        assert_eq!(counts.last().copied(), Some(h.count()));
+        // Spot-check the edges: le="0" covers the single zero sample and
+        // le="1" adds the two ones.
+        assert_eq!(les[0], "0");
+        assert_eq!(counts[0], 1);
+        assert_eq!(les[1], "1");
+        assert_eq!(counts[1], 3);
+        // u64::MAX lives in the unbounded bucket: no finite le line for
+        // it, only +Inf.
+        assert!(!les.iter().any(|le| le == &u64::MAX.to_string()));
+        assert!(text.contains("mcds_test_registry_prom_edge_count 6\n"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 0), 1);
+        assert_eq!(percentile(&v, 50), 5);
+        assert_eq!(percentile(&v, 90), 9);
+        assert_eq!(percentile(&v, 99), 10);
+        assert_eq!(percentile(&v, 100), 10);
+    }
+
+    #[test]
+    fn bucket_quantile_returns_bucket_upper_bounds() {
+        assert_eq!(bucket_quantile(&[], 50), 0);
+        // 4 samples at value 1 (b1), 4 in [2,3] (b2), 2 in [1024,2047] (b11).
+        let buckets = vec![(1, 4u64), (2, 4), (11, 2)];
+        assert_eq!(bucket_quantile(&buckets, 50), 3); // rank 5 → b2 hi
+        assert_eq!(bucket_quantile(&buckets, 40), 1); // rank 4 → b1 hi
+        assert_eq!(bucket_quantile(&buckets, 99), 2047); // rank 10 → b11 hi
+        assert_eq!(bucket_quantile(&buckets, 100), 2047);
+    }
+
+    #[test]
+    fn sanitize_maps_onto_prometheus_charset_idempotently() {
+        assert_eq!(sanitize_metric_name("serve.request_ns"), "serve_request_ns");
+        assert_eq!(sanitize_metric_name("a:b_c9"), "a:b_c9");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("Ümlaut→x"), "_mlaut_x");
+        for name in ["serve.request_ns", "9lives", "", "Ümlaut→x", "a b\tc"] {
+            let once = sanitize_metric_name(name);
+            assert_eq!(sanitize_metric_name(&once), once, "idempotent on {name:?}");
+            assert!(once
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+            assert!(!once.as_bytes()[0].is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn metrics_text_dedupes_post_sanitization_collisions() {
+        counter("test.registry.collide!a").incr();
+        counter("test.registry.collide?a").add(2);
+        let text = metrics_text();
+        // BTreeMap order: `!a` sorts before `?a`, so it keeps the base
+        // name and `?a` gets the `_2` suffix.
+        assert!(text.contains("mcds_test_registry_collide_a_total 1\n"));
+        assert!(text.contains("mcds_test_registry_collide_a_2_total 2\n"));
     }
 }

@@ -201,8 +201,14 @@ pub fn metrics_json() -> String {
         if i > 0 {
             out.push(',');
         }
+        let buckets = hist
+            .nonzero_buckets()
+            .iter()
+            .map(|(b, c)| format!("[{b},{c}]"))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
-            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{}}}",
+            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{buckets}]}}",
             json_escape(&name),
             hist.count(),
             hist.sum(),
@@ -236,6 +242,14 @@ pub fn flush_to_path(path: &str) -> std::io::Result<()> {
 /// Clears buffered events (spans/logs) without rendering them.
 pub(crate) fn clear() {
     lock_events().clear();
+}
+
+/// Discards buffered span/log events without touching the metric
+/// registry.  Long-running daemons that enable the subscriber for the
+/// metrics endpoints but have nowhere to flush a trace call this
+/// periodically so the event buffer stays bounded.
+pub fn discard_events() {
+    clear();
 }
 
 #[cfg(test)]

@@ -179,28 +179,14 @@ pub fn run_load(addr: &str, cfg: LoadConfig, side: f64) -> std::io::Result<LoadR
     })
 }
 
-/// Nearest-rank percentile of a sorted sample (0 for an empty one).
-pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100);
-    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
-}
+// Nearest-rank percentile; the canonical implementation lives next to
+// the histogram code in `mcds-obs` and is re-exported here for the
+// bench client's historical call sites (E21's exp_serve among them).
+pub use mcds_obs::percentile;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[], 99), 0);
-        assert_eq!(percentile(&[7], 50), 7);
-        let xs: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&xs, 50), 50);
-        assert_eq!(percentile(&xs, 99), 99);
-        assert_eq!(percentile(&xs, 100), 100);
-    }
 
     #[test]
     fn mix_is_deterministic_and_parseable() {

@@ -38,6 +38,12 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Longest accepted request line in bytes (newline included).
     pub max_line: usize,
+    /// Keep buffered span/log trace events for a later flush.  A daemon
+    /// enables the obs subscriber so the metrics endpoints have data;
+    /// when nothing will ever flush the trace (no `--trace` file), the
+    /// accept loop discards buffered events on idle so memory stays
+    /// bounded over days of uptime.
+    pub retain_trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +53,7 @@ impl Default for ServeConfig {
             m: 1,
             threads: mcds_pool::default_parallelism(),
             max_line: MAX_LINE_BYTES,
+            retain_trace: false,
         }
     }
 }
@@ -110,6 +117,8 @@ fn admit(state: &mut State) -> TickOutcome {
     }
     state.tick += 1;
     mcds_obs::counter!("serve.ticks");
+    mcds_obs::counter!("serve.churn_admitted", admitted as u64);
+    mcds_obs::counter!("serve.churn_rejected", rejected as u64);
     TickOutcome {
         tick: state.tick,
         admitted,
@@ -198,6 +207,13 @@ impl Server {
                         scope.spawn(move || handle_connection(stream, &shared, cfg));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if !cfg.retain_trace {
+                            // Nothing will flush the trace buffer; drop
+                            // accumulated span/log events (the metric
+                            // registry is untouched) so a long-lived
+                            // daemon's memory stays bounded.
+                            mcds_obs::trace::discard_events();
+                        }
                         std::thread::sleep(Duration::from_millis(2));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -316,8 +332,22 @@ fn handle_connection(stream: TcpStream, shared: &Shared, cfg: ServeConfig) {
         if line.trim().is_empty() {
             continue;
         }
+        if is_http_request_line(&line) {
+            // HTTP/1.1 shim: one request, one response, no keep-alive.
+            // Scrapers (curl, Prometheus) share the JSONL port — JSONL
+            // request lines start with `{`, so the grammars never clash.
+            mcds_obs::counter!("serve.http_requests");
+            drain_http_headers(&mut reader, &mut acc, cfg.max_line, &shared.shutdown);
+            let response = http_response(&line);
+            let _ = writer
+                .write_all(response.as_bytes())
+                .and_then(|()| writer.flush());
+            return;
+        }
         mcds_obs::counter!("serve.requests");
+        let t0 = std::time::Instant::now();
         let (response, close) = respond(&line, shared, cfg);
+        mcds_obs::observe_duration("serve.request_ns", t0.elapsed());
         if writeln!(writer, "{response}")
             .and_then(|()| writer.flush())
             .is_err()
@@ -328,6 +358,61 @@ fn handle_connection(stream: TcpStream, shared: &Shared, cfg: ServeConfig) {
             return;
         }
     }
+}
+
+/// Whether a received line is an HTTP request line (`GET /x HTTP/1.1`)
+/// rather than a JSONL request: an all-uppercase method token followed
+/// by a target and an `HTTP/1.` version.
+fn is_http_request_line(line: &str) -> bool {
+    let Some((method, rest)) = line.split_once(' ') else {
+        return false;
+    };
+    (1..=16).contains(&method.len())
+        && method.bytes().all(|b| b.is_ascii_uppercase())
+        && rest.contains("HTTP/1.")
+}
+
+/// Reads header lines until the empty line that ends an HTTP request
+/// head (or EOF/shutdown/error), with the same per-line byte cap as the
+/// JSONL protocol and a hard cap on header count — the shim never
+/// buffers an unbounded request.
+fn drain_http_headers(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) {
+    for _ in 0..64 {
+        match read_line_limited(reader, acc, max, shutdown) {
+            Ok(Some(line)) if !line.is_empty() => continue,
+            _ => return,
+        }
+    }
+}
+
+/// The shim's entire routing table: `GET /metrics` serves the Prometheus
+/// text exposition; anything else is 404/405.  Responses always carry
+/// `Content-Length` and `Connection: close`.
+fn http_response(request_line: &str) -> String {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (status, extra, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "Allow: GET\r\n",
+            "only GET is supported; the JSONL protocol shares this port\n".to_string(),
+        )
+    } else if target == "/metrics" || target.starts_with("/metrics?") {
+        ("200 OK", "", mcds_obs::metrics_text())
+    } else {
+        ("404 Not Found", "", "try GET /metrics\n".to_string())
+    };
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+        body.len()
+    )
 }
 
 /// Dispatches one request line; the bool asks the caller to close the
@@ -482,6 +567,40 @@ mod tests {
         assert!(state.pending.is_empty());
         assert!(!state.engine.is_alive(4));
         assert!(state.engine.is_alive(6)); // the join got the next id
+    }
+
+    #[test]
+    fn http_request_lines_are_distinguished_from_jsonl() {
+        assert!(is_http_request_line("GET /metrics HTTP/1.1"));
+        assert!(is_http_request_line("HEAD / HTTP/1.0"));
+        assert!(is_http_request_line("POST /metrics HTTP/1.1"));
+        assert!(!is_http_request_line("{\"op\":\"metrics\"}"));
+        assert!(!is_http_request_line("get /metrics HTTP/1.1"));
+        assert!(!is_http_request_line("GET"));
+        assert!(!is_http_request_line("GARBAGE but no version"));
+        assert!(!is_http_request_line(""));
+    }
+
+    #[test]
+    fn http_routing_table_covers_200_404_405() {
+        let ok = http_response("GET /metrics HTTP/1.1");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Length: "));
+        assert!(ok.contains("Connection: close\r\n"));
+        let not_found = http_response("GET /other HTTP/1.1");
+        assert!(not_found.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let bad_method = http_response("POST /metrics HTTP/1.1");
+        assert!(bad_method.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(bad_method.contains("Allow: GET\r\n"));
+        // Content-Length matches the body byte count exactly.
+        let (head, body) = ok.split_once("\r\n\r\n").unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
     }
 
     #[test]

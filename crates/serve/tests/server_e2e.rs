@@ -148,6 +148,65 @@ fn full_session_over_tcp() {
     handle.join().expect("server thread");
 }
 
+/// One raw HTTP exchange: write the request head, read to close.
+fn http_exchange(addr: &str, raw: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("http connect");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    s.write_all(raw.as_bytes()).expect("http write");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("http read to close");
+    out
+}
+
+#[test]
+fn http_metrics_shim_coexists_with_jsonl() {
+    // The exposition needs live counters, so run with the subscriber on
+    // (serialized against other obs-toggling tests).
+    mcds_obs::test_support::with_enabled(true, || {
+        let (addr, handle) = spawn_server(test_config(), line_points(6));
+        let mut c = Client::connect(&addr).expect("connect");
+        let before = c.request(r#"{"op":"query","what":"stats"}"#).unwrap();
+
+        // A curl-style GET on the same port returns the Prometheus text
+        // exposition with honest framing headers.
+        let ok = http_exchange(
+            &addr,
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nUser-Agent: curl/8.0\r\nAccept: */*\r\n\r\n",
+        );
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Connection: close\r\n"));
+        let (head, body) = ok.split_once("\r\n\r\n").expect("header/body split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len(), "Content-Length must match the body");
+        assert!(
+            body.contains("# TYPE mcds_serve_connections_total counter"),
+            "{body}"
+        );
+        assert!(body.contains("# TYPE mcds_serve_request_ns histogram"));
+        assert!(body.contains("mcds_serve_request_ns_bucket{le=\"+Inf\"}"));
+
+        // Routing misses: 404 on unknown paths, 405 on non-GET.
+        let not_found = http_exchange(&addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(not_found.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let bad_method = http_exchange(&addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(bad_method.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+
+        // The JSONL session is untouched by interleaved HTTP scrapes:
+        // same connection, byte-identical answer.
+        let after = c.request(r#"{"op":"query","what":"stats"}"#).unwrap();
+        assert_eq!(before, after);
+        c.request(r#"{"op":"shutdown"}"#).unwrap();
+        handle.join().expect("server thread");
+    });
+}
+
 #[test]
 fn oversized_lines_are_rejected_and_close_the_connection() {
     let cfg = ServeConfig {

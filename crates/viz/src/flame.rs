@@ -1,0 +1,220 @@
+//! An in-tree flamegraph renderer over collapsed stacks.
+//!
+//! Input is the interchange format `mcds_obs::profile` exports — one
+//! `frame;frame;frame <value>` line per stack, values in arbitrary
+//! units (the obs profiler uses self-time nanoseconds).  This module
+//! deliberately takes the parsed `(stack, value)` pairs rather than
+//! depending on `mcds-obs`: the renderer is pure geometry over
+//! [`crate::svg::Canvas`], usable for any weighted tree.
+//!
+//! Layout is the classic icicle-inverted flame: roots on the bottom
+//! row, children stacked upward, sibling order alphabetical (so equal
+//! profiles render byte-equal SVGs), frame width proportional to the
+//! subtree's total value.  Colors come from a deterministic hash of the
+//! frame label — same label, same color, across runs and machines.
+
+use std::collections::BTreeMap;
+
+use mcds_geom::{Aabb, Point};
+
+use crate::svg::Canvas;
+
+/// Pixel geometry for [`render_flame`].
+#[derive(Debug, Clone)]
+pub struct FlameStyle {
+    /// Total image width in pixels.
+    pub width_px: f64,
+    /// Height of one frame row in pixels.
+    pub row_px: f64,
+    /// Label font size in pixels; frames too narrow for ~3 characters
+    /// stay unlabeled.
+    pub font_px: f64,
+}
+
+impl Default for FlameStyle {
+    fn default() -> Self {
+        FlameStyle {
+            width_px: 1200.0,
+            row_px: 18.0,
+            font_px: 11.0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    self_value: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn total(&self) -> u64 {
+        self.self_value + self.children.values().map(Node::total).sum::<u64>()
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// The warm palette frames cycle through, keyed by label hash.
+const PALETTE: &[&str] = &[
+    "#e4572e", "#e98a15", "#f2a33c", "#d1495b", "#c75146", "#ef7b45", "#da627d", "#bc4b51",
+];
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders collapsed stacks (`a;b;c`, value) as a flamegraph SVG with
+/// default [`FlameStyle`] geometry.
+pub fn render_flame(stacks: &[(String, u64)], title: &str) -> String {
+    render_flame_styled(stacks, title, &FlameStyle::default())
+}
+
+/// [`render_flame`] with explicit geometry.
+pub fn render_flame_styled(stacks: &[(String, u64)], title: &str, style: &FlameStyle) -> String {
+    let mut root = Node::default();
+    for (stack, value) in stacks {
+        let mut node = &mut root;
+        for frame in stack.split(';').filter(|f| !f.is_empty()) {
+            node = node.children.entry(frame.to_string()).or_default();
+        }
+        node.self_value += value;
+    }
+    let total = root.total();
+    let depth = root.children.values().map(Node::depth).max().unwrap_or(0);
+    let title_rows = 1.5; // headroom for the title text
+    let height_px = (depth as f64 + title_rows) * style.row_px + style.font_px;
+    let world = Aabb::new(Point::new(0.0, 0.0), Point::new(style.width_px, height_px));
+    let mut canvas = Canvas::new(world, 1.0);
+    canvas.label(
+        Point::new(4.0, height_px - style.font_px),
+        title,
+        style.font_px + 2.0,
+        "#333333",
+    );
+    if total > 0 {
+        let px_per_unit = style.width_px / total as f64;
+        let mut x = 0.0f64;
+        for (label, child) in &root.children {
+            draw(&mut canvas, label, child, x, 0, px_per_unit, style);
+            x += child.total() as f64 * px_per_unit;
+        }
+    }
+    canvas.finish()
+}
+
+/// Draws `node`'s frame at horizontal pixel offset `x`, row `row`, then
+/// recurses into children left to right.
+fn draw(
+    canvas: &mut Canvas,
+    label: &str,
+    node: &Node,
+    x: f64,
+    row: usize,
+    px_per_unit: f64,
+    style: &FlameStyle,
+) {
+    let w = node.total() as f64 * px_per_unit;
+    if w <= 0.0 {
+        return;
+    }
+    let y0 = row as f64 * style.row_px;
+    let fill = PALETTE[(fnv1a(label) % PALETTE.len() as u64) as usize];
+    canvas.rect(
+        Point::new(x, y0),
+        Point::new(x + w, y0 + style.row_px),
+        fill,
+        "#ffffff",
+    );
+    // Only label frames wide enough to fit a readable prefix.
+    let max_chars = (w / (0.62 * style.font_px)) as usize;
+    if max_chars >= 3 {
+        let text: String = if label.chars().count() > max_chars {
+            label
+                .chars()
+                .take(max_chars.saturating_sub(1))
+                .chain(['…'])
+                .collect()
+        } else {
+            label.to_string()
+        };
+        canvas.label(
+            Point::new(x + 3.0, y0 + 0.28 * style.row_px),
+            &text,
+            style.font_px,
+            "#222222",
+        );
+    }
+    let mut cx = x;
+    for (child_label, child) in &node.children {
+        draw(canvas, child_label, child, cx, row + 1, px_per_unit, style);
+        cx += child.total() as f64 * px_per_unit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stacks(raw: &[(&str, u64)]) -> Vec<(String, u64)> {
+        raw.iter().map(|&(s, v)| (s.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn widths_are_proportional_to_totals() {
+        let svg = render_flame(
+            &stacks(&[("solve", 25), ("solve;phase1", 25), ("solve;phase2", 50)]),
+            "t",
+        );
+        // Root covers the full 1200px; phase2 covers half of it.
+        assert!(svg.contains(r#"width="1200.00" height="18.00""#), "{svg}");
+        assert!(svg.contains(r#"width="600.00" height="18.00""#), "{svg}");
+        assert!(svg.contains(r#"width="300.00" height="18.00""#), "{svg}");
+    }
+
+    #[test]
+    fn roots_sit_on_the_bottom_row() {
+        let style = FlameStyle::default();
+        let svg = render_flame(&stacks(&[("a", 1), ("a;b", 1)]), "t");
+        // Two rows + title headroom; the root frame's y is below the
+        // child's in SVG space (flipped axis: bottom = larger y).
+        let ys: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.contains(r#"height="18.00""#))
+            .filter_map(|l| {
+                let y = l.split(r#"y=""#).nth(1)?.split('"').next()?;
+                y.parse().ok()
+            })
+            .collect();
+        assert_eq!(ys.len(), 2);
+        assert!(
+            ((ys[0] - ys[1]).abs() - style.row_px).abs() < 1e-9,
+            "{ys:?}"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_labels_appear() {
+        let s = stacks(&[("solve;phase1", 10), ("solve;phase2", 30), ("solve", 5)]);
+        let a = render_flame(&s, "profile");
+        let b = render_flame(&s, "profile");
+        assert_eq!(a, b);
+        assert!(a.contains(">solve<"), "{a}");
+        assert!(a.contains(">phase2<"), "{a}");
+        assert!(a.contains(">profile<"));
+    }
+
+    #[test]
+    fn empty_input_still_renders_a_document() {
+        let svg = render_flame(&[], "empty");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains(">empty<"));
+    }
+}

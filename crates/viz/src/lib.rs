@@ -9,7 +9,9 @@
 //! * [`render_construction`] — the paper's Fig. 1 / Fig. 2 tightness
 //!   instances: the structured set, its unit-disk neighborhood, and the
 //!   packed independent points,
-//! * [`svg::Canvas`] — the small drawing surface both are built on, if
+//! * [`flame::render_flame`] — a flamegraph over collapsed stacks (as
+//!   exported by `mcds-obs`'s trace profiler),
+//! * [`svg::Canvas`] — the small drawing surface all are built on, if
 //!   you want custom figures.
 //!
 //! The output is plain SVG 1.1 text: viewable in any browser, embeddable
@@ -33,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chart;
+pub mod flame;
 pub mod svg;
 
 use mcds_geom::Aabb;

@@ -94,6 +94,22 @@ impl Canvas {
         );
     }
 
+    /// An axis-aligned filled rectangle between world corners `a` and
+    /// `b` (any corner order), with a stroke outline — the flamegraph
+    /// frame primitive.
+    pub fn rect(&mut self, a: Point, b: Point, fill: &str, stroke: &str) {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"  <rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" stroke="{stroke}" stroke-width="0.5"/>"#,
+            x1.min(x2),
+            y1.min(y2),
+            (x1 - x2).abs(),
+            (y1 - y2).abs()
+        );
+    }
+
     /// A line segment between world points.
     pub fn line(&mut self, a: Point, b: Point, stroke: &str, width_px: f64) {
         let (x1, y1) = self.tx(a);
@@ -164,5 +180,17 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn zero_scale_panics() {
         let _ = Canvas::new(Aabb::square(1.0), 0.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corner_order() {
+        let mut c = Canvas::new(Aabb::square(4.0), 10.0);
+        c.rect(Point::new(3.0, 3.0), Point::new(1.0, 1.0), "#abc", "#def");
+        let svg = c.finish();
+        // World (1,3)→pixel (10,10); 2×2 world units → 20×20 px.
+        assert!(
+            svg.contains(r#"<rect x="10.00" y="10.00" width="20.00" height="20.00""#),
+            "{svg}"
+        );
     }
 }
