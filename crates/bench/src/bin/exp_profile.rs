@@ -41,7 +41,7 @@ fn main() {
     let sizes: &[usize] = if cfg.quick {
         &[500, 1_000, 2_000]
     } else {
-        &[1_000, 5_000, 10_000, 20_000, 50_000]
+        &[1_000, 5_000, 10_000, 20_000, 50_000, 100_000]
     };
 
     // This experiment *is* the observability demo: turn the subscriber on

@@ -56,6 +56,7 @@ pub struct TrajectoryEntry {
 pub fn field_map(bench: &str) -> Option<(&'static str, &'static str, f64)> {
     match bench {
         "profile" => Some(("n", "solve_ms", 1.0)),
+        "hotpath" => Some(("n", "solve_ms", 1.0)),
         "serve" => Some(("clients", "wall_p50_us", 1e-3)),
         "fault" => Some(("m", "wall_us_mean", 1e-3)),
         "substrate" => Some(("n", "solve_compact_ms", 1.0)),
@@ -389,6 +390,14 @@ mod tests {
         assert_eq!(name, "profile");
         assert_eq!(points[0].key, "n=1000");
         assert_eq!(points[0].wall_ms, 16.9);
+        // The hotpath ladder tracks the bitset-kernel solve curve; the
+        // scalar column rides along untracked (it is diagnostic only).
+        let hotpath = r#"{"bench":"hotpath","schema":1,"points":[
+            {"n":5000,"solve_ms":42.5,"scalar_ms":310.2,"hot_speedup":8.1}]}"#;
+        let (name, points) = parse_bench_file(hotpath).unwrap();
+        assert_eq!(name, "hotpath");
+        assert_eq!(points[0].key, "n=5000");
+        assert_eq!(points[0].wall_ms, 42.5);
         // Microsecond fields scale to milliseconds.
         let serve = r#"{"bench":"serve","schema":1,"points":[
             {"clients":4,"wall_p50_us":27,"wall_p99_us":2929}]}"#;

@@ -15,9 +15,20 @@
 //!   pair of components along a shortest path.
 //! * [`max_gain_then_paths`] — greedy merges while possible, shortest
 //!   paths for whatever remains; total for any seed on a connected graph.
+//!
+//! The greedy merge loop has two kernels (see [`crate::kernel`]): the
+//! scalar one rescans every candidate per selection; the bitset one
+//! keeps each candidate's merge count in a lazy bucket queue and only
+//! recomputes where a selection could have changed it.  Both pick the
+//! identical connector sequence (`tests/kernel_equiv.rs`).
 
-use mcds_graph::{node_mask, subsets, RandomAccessGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
+use mcds_graph::bitgraph::BitSet;
+use mcds_graph::{node_mask, subsets, DisjointSets, RandomAccessGraph};
+
+use crate::kernel::{self, Kernel};
 use crate::CdsError;
 
 /// Greedy max-gain connector selection (the paper's phase 2).
@@ -36,19 +47,113 @@ pub fn max_gain_connectors<G: RandomAccessGraph>(
     g: &G,
     seed: &[usize],
 ) -> Result<Vec<usize>, CdsError> {
+    max_gain_connectors_with(g, seed, kernel::select(g.num_nodes()))
+}
+
+/// [`max_gain_connectors`] with an explicit kernel choice (tests and
+/// benches; the public entry point selects automatically).
+///
+/// # Errors
+///
+/// Same as [`max_gain_connectors`].
+pub fn max_gain_connectors_with<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+    kernel: Kernel,
+) -> Result<Vec<usize>, CdsError> {
     if g.num_nodes() == 0 {
         return Err(CdsError::EmptyGraph);
     }
     if !g.is_connected() {
         return Err(CdsError::DisconnectedGraph);
     }
+    let run = match kernel {
+        Kernel::Scalar => merge_scalar(g, seed, false)?,
+        Kernel::Bitset => merge_bitset(g, seed, false)?,
+    };
+    mcds_obs::counter!("connectors.candidates_scanned", run.scanned);
+    mcds_obs::counter!("connectors.selected", run.connectors.len() as u64);
+    Ok(run.connectors)
+}
+
+/// Max-gain merges while any node touches two components, then
+/// shortest-path connectors for whatever remains.
+///
+/// Total for *any* seed on a connected graph — the connector rule for
+/// baselines whose phase-1 sets lack the 2-hop separation property
+/// (arbitrary MISs, set-cover dominators).
+///
+/// # Errors
+///
+/// * [`CdsError::EmptyGraph`] / [`CdsError::DisconnectedGraph`] on bad
+///   graphs.
+pub fn max_gain_then_paths<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+) -> Result<Vec<usize>, CdsError> {
+    max_gain_then_paths_with(g, seed, kernel::select(g.num_nodes()))
+}
+
+/// [`max_gain_then_paths`] with an explicit kernel choice.
+///
+/// # Errors
+///
+/// Same as [`max_gain_then_paths`].
+pub fn max_gain_then_paths_with<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+    kernel: Kernel,
+) -> Result<Vec<usize>, CdsError> {
+    if g.num_nodes() == 0 {
+        return Err(CdsError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(CdsError::DisconnectedGraph);
+    }
+    let mut run = match kernel {
+        Kernel::Scalar => merge_scalar(g, seed, true)?,
+        Kernel::Bitset => merge_bitset(g, seed, true)?,
+    };
+    mcds_obs::counter!("connectors.candidates_scanned", run.scanned);
+    if run.remaining > 1 {
+        let mut grown: Vec<usize> = seed.to_vec();
+        grown.extend(run.connectors.iter().copied());
+        run.connectors.extend(path_connectors(g, &grown)?);
+    }
+    mcds_obs::counter!("connectors.selected", run.connectors.len() as u64);
+    Ok(run.connectors)
+}
+
+/// Outcome of a greedy merge loop: the selections made, the number of
+/// components left (1 unless the seed stalled), and how many candidate
+/// gain evaluations it took (kernel-dependent; flushed to the
+/// `connectors.candidates_scanned` counter by the callers).
+struct MergeRun {
+    connectors: Vec<usize>,
+    remaining: usize,
+    scanned: u64,
+}
+
+fn stall_error(q: usize) -> CdsError {
+    CdsError::Stalled(format!(
+        "{q} components remain but no node touches two of them \
+         (seed lacks the 2-hop separation property)"
+    ))
+}
+
+/// Original kernel: one full candidate scan per selection.
+fn merge_scalar<G: RandomAccessGraph>(
+    g: &G,
+    seed: &[usize],
+    allow_stall: bool,
+) -> Result<MergeRun, CdsError> {
     let mut mask = node_mask(g.num_nodes(), seed);
     let mut dsu = subsets::components_dsu(g, &mask);
     let mut q = subsets::count_components(g, &mask);
     let mut connectors = Vec::new();
-    // Accumulated locally and flushed once: the scan below is the hot
-    // loop, and per-candidate counter updates would distort what the
-    // counter is meant to profile.
+    // Accumulated locally and flushed once by the caller: the scan below
+    // is the hot loop, and per-candidate counter updates would distort
+    // what the counter is meant to profile.
     let mut scanned: u64 = 0;
 
     while q > 1 {
@@ -68,12 +173,16 @@ pub fn max_gain_connectors<G: RandomAccessGraph>(
                 }
             }
         }
-        let (count, w) = best.ok_or_else(|| {
-            CdsError::Stalled(format!(
-                "{q} components remain but no node touches two of them \
-                 (seed lacks the 2-hop separation property)"
-            ))
-        })?;
+        let Some((count, w)) = best else {
+            if allow_stall {
+                return Ok(MergeRun {
+                    connectors,
+                    remaining: q,
+                    scanned,
+                });
+            }
+            return Err(stall_error(q));
+        };
         mask[w] = true;
         for u in g.successors(w) {
             if mask[u] {
@@ -84,72 +193,187 @@ pub fn max_gain_connectors<G: RandomAccessGraph>(
         connectors.push(w);
         debug_assert_eq!(q, subsets::count_components(g, &mask));
     }
-    mcds_obs::counter!("connectors.candidates_scanned", scanned);
-    mcds_obs::counter!("connectors.selected", connectors.len() as u64);
-    Ok(connectors)
+    Ok(MergeRun {
+        connectors,
+        remaining: q,
+        scanned,
+    })
 }
 
-/// Max-gain merges while any node touches two components, then
-/// shortest-path connectors for whatever remains.
+/// Bitset kernel: incremental gain maintenance via a lazy bucket queue.
 ///
-/// Total for *any* seed on a connected graph — the connector rule for
-/// baselines whose phase-1 sets lack the 2-hop separation property
-/// (arbitrary MISs, set-cover dominators).
+/// Every candidate `w ∉ mask` carries an *upper bound* `bucket_of[w]` on
+/// its true merge count `|{distinct components adjacent to w}|`:
 ///
-/// # Errors
+/// * selections only ever merge components, so counts of nodes **not**
+///   adjacent to the selected `w` can only drop — their cached bound
+///   stays valid;
+/// * only neighbors of `w` can gain adjacency to the new component, and
+///   those are recomputed exactly, right after the selection.
 ///
-/// * [`CdsError::EmptyGraph`] / [`CdsError::DisconnectedGraph`] on bad
-///   graphs.
-pub fn max_gain_then_paths<G: RandomAccessGraph>(
+/// Buckets are keyed by the bound; popping the smallest id from the
+/// highest non-empty bucket and confirming its true count against the
+/// bucket level therefore yields exactly the scalar rule's argmax (max
+/// count, smallest id on ties) — stale entries are lazily demoted on
+/// pop.  Work per selection is `O(deg w · α)` for the refresh plus the
+/// lazy pops, instead of a full `O(n · deg)` rescan.
+fn merge_bitset<G: RandomAccessGraph>(
     g: &G,
     seed: &[usize],
-) -> Result<Vec<usize>, CdsError> {
-    if g.num_nodes() == 0 {
-        return Err(CdsError::EmptyGraph);
+    allow_stall: bool,
+) -> Result<MergeRun, CdsError> {
+    const UNQUEUED: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let rows = kernel::maybe_rows(g);
+    let rows = rows.as_ref();
+    let mut mask = BitSet::from_nodes(n, seed);
+    let mut dsu = DisjointSets::new(n);
+    let mut members = 0usize;
+    let mut merges = 0usize;
+    for v in mask.iter_ones() {
+        members += 1;
+        kernel::for_each_neighbor(g, rows, v, |u| {
+            if u < v && mask.contains(u) && dsu.union(u, v) {
+                merges += 1;
+            }
+        });
     }
-    if !g.is_connected() {
-        return Err(CdsError::DisconnectedGraph);
-    }
-    let mut mask = node_mask(g.num_nodes(), seed);
-    let mut dsu = subsets::components_dsu(g, &mask);
-    let mut q = subsets::count_components(g, &mask);
+    let mut q = members - merges;
     let mut connectors = Vec::new();
     let mut scanned: u64 = 0;
+    if q <= 1 {
+        return Ok(MergeRun {
+            connectors,
+            remaining: q,
+            scanned,
+        });
+    }
+
+    // `bucket_of[w]`: the bucket currently holding w's live entry (an
+    // upper bound on its true count); entries are only materialized in
+    // the heaps for buckets ≥ 2, the only ones selection pops from.
+    let mut bucket_of: Vec<u32> = vec![UNQUEUED; n];
+    let mut buckets: Vec<BinaryHeap<Reverse<usize>>> = Vec::new();
+    let mut top = 0usize;
+    let mut roots: Vec<usize> = Vec::new();
+    let mut to_refresh: Vec<usize> = Vec::new();
+    for w in 0..n {
+        if mask.contains(w) {
+            continue;
+        }
+        scanned += 1;
+        let c = adjacent_count(g, rows, &mask, &mut dsu, w, &mut roots);
+        enqueue(&mut buckets, &mut bucket_of, &mut top, w, c);
+    }
+
     while q > 1 {
-        let mut best: Option<(usize, usize)> = None;
-        for w in 0..g.num_nodes() {
-            if mask[w] {
-                continue;
+        let mut best: Option<(usize, usize)> = None; // (count, node)
+        loop {
+            while top >= 2 && buckets.get(top).is_none_or(BinaryHeap::is_empty) {
+                top -= 1;
+            }
+            if top < 2 {
+                break;
+            }
+            let Reverse(x) = buckets[top].pop().expect("bucket checked non-empty");
+            if bucket_of[x] as usize != top || mask.contains(x) {
+                continue; // stale entry left behind by a reassignment
             }
             scanned += 1;
-            let adj = subsets::adjacent_components(g, &mask, &mut dsu, w);
-            if adj.len() >= 2 {
-                match best {
-                    Some((c, _)) if c >= adj.len() => {}
-                    _ => best = Some((adj.len(), w)),
-                }
+            let c = adjacent_count(g, rows, &mask, &mut dsu, x, &mut roots);
+            debug_assert!(c <= top, "cached gain bound was not an upper bound");
+            if c == top {
+                best = Some((c, x));
+                break;
             }
+            // Lazy demotion to the true (lower) bucket.
+            enqueue(&mut buckets, &mut bucket_of, &mut top, x, c);
         }
         let Some((count, w)) = best else {
-            break; // no merging node: fall through to path connectors
-        };
-        mask[w] = true;
-        for u in g.successors(w) {
-            if mask[u] {
-                dsu.union(w, u);
+            if allow_stall {
+                return Ok(MergeRun {
+                    connectors,
+                    remaining: q,
+                    scanned,
+                });
             }
-        }
+            return Err(stall_error(q));
+        };
+        mask.insert(w);
+        bucket_of[w] = UNQUEUED;
+        to_refresh.clear();
+        kernel::for_each_neighbor(g, rows, w, |u| {
+            if mask.contains(u) {
+                dsu.union(w, u);
+            } else {
+                to_refresh.push(u);
+            }
+        });
         q = q + 1 - count;
         connectors.push(w);
+        // Only neighbors of the selection can *gain* adjacency to the
+        // merged component; recompute them exactly so the cached bounds
+        // stay upper bounds.
+        for &x in &to_refresh {
+            scanned += 1;
+            let c = adjacent_count(g, rows, &mask, &mut dsu, x, &mut roots);
+            if c as u32 != bucket_of[x] {
+                enqueue(&mut buckets, &mut bucket_of, &mut top, x, c);
+            }
+        }
+        debug_assert_eq!(q, {
+            let bool_mask: Vec<bool> = (0..n).map(|v| mask.contains(v)).collect();
+            subsets::count_components(g, &bool_mask)
+        });
     }
-    mcds_obs::counter!("connectors.candidates_scanned", scanned);
-    if q > 1 {
-        let mut grown: Vec<usize> = seed.to_vec();
-        grown.extend(connectors.iter().copied());
-        connectors.extend(path_connectors(g, &grown)?);
+    Ok(MergeRun {
+        connectors,
+        remaining: q,
+        scanned,
+    })
+}
+
+/// Re-files `w` under bucket `c` (heap entry only for selectable `c ≥ 2`).
+fn enqueue(
+    buckets: &mut Vec<BinaryHeap<Reverse<usize>>>,
+    bucket_of: &mut [u32],
+    top: &mut usize,
+    w: usize,
+    c: usize,
+) {
+    bucket_of[w] = c as u32;
+    if c >= 2 {
+        if buckets.len() <= c {
+            buckets.resize_with(c + 1, BinaryHeap::new);
+        }
+        buckets[c].push(Reverse(w));
+        if c > *top {
+            *top = c;
+        }
     }
-    mcds_obs::counter!("connectors.selected", connectors.len() as u64);
-    Ok(connectors)
+}
+
+/// Number of distinct `G[mask]` components adjacent to `w` — the same
+/// value `subsets::adjacent_components(..).len()` yields, without
+/// materializing the sorted root list.
+fn adjacent_count<G: RandomAccessGraph>(
+    g: &G,
+    rows: Option<&mcds_graph::bitgraph::BitRows>,
+    mask: &BitSet,
+    dsu: &mut DisjointSets,
+    w: usize,
+    roots: &mut Vec<usize>,
+) -> usize {
+    roots.clear();
+    kernel::for_each_neighbor(g, rows, w, |u| {
+        if mask.contains(u) {
+            let r = dsu.find(u);
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+    });
+    roots.len()
 }
 
 /// The per-step gains of a connector sequence, recomputed from scratch —
@@ -301,6 +525,10 @@ mod tests {
         let g = Graph::path(7);
         let err = max_gain_connectors(&g, &[0, 6]).unwrap_err();
         assert!(matches!(err, CdsError::Stalled(_)));
+        // Both kernels stall with the identical diagnostic.
+        let a = max_gain_connectors_with(&g, &[0, 6], Kernel::Scalar).unwrap_err();
+        let b = max_gain_connectors_with(&g, &[0, 6], Kernel::Bitset).unwrap_err();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -320,6 +548,9 @@ mod tests {
         assert!(path_connectors(&g, &[1, 2, 3]).unwrap().is_empty());
         // Empty seed: zero components, nothing to connect.
         assert!(max_gain_connectors(&g, &[]).unwrap().is_empty());
+        assert!(max_gain_connectors_with(&g, &[], Kernel::Bitset)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -348,8 +579,11 @@ mod tests {
         assert!(properties::is_maximal_independent_set(&g, &mis));
         let conn = max_gain_then_paths(&g, &mis).unwrap();
         let mut all = mis.clone();
-        all.extend(conn);
+        all.extend(conn.iter().copied());
         assert!(properties::is_connected_dominating_set(&g, &all));
+        // The stall-then-paths route agrees across kernels too.
+        let b = max_gain_then_paths_with(&g, &mis, Kernel::Bitset).unwrap();
+        assert_eq!(conn, b);
     }
 
     #[test]
@@ -370,5 +604,16 @@ mod tests {
         let total: usize = trace.iter().sum();
         // Components drop from |mis| to 1.
         assert_eq!(total, mis.len() - 1);
+    }
+
+    #[test]
+    fn kernels_pick_identical_connectors() {
+        for g in [Graph::path(9), Graph::cycle(12), Graph::cycle(30)] {
+            let mis = BfsMis::compute(&g, 0).mis().to_vec();
+            let a = max_gain_connectors_with(&g, &mis, Kernel::Scalar).unwrap();
+            let b = max_gain_connectors_with(&g, &mis, Kernel::Bitset).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(gain_trace(&g, &mis, &a), gain_trace(&g, &mis, &b));
+        }
     }
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates every experiment artifact of the reproduction (E1-E23).
+# Regenerates every experiment artifact of the reproduction (E1-E25),
+# then appends the run to the perf-trajectory ledger.
 # Usage: ./run_experiments.sh [--quick] [--skip-verify] [outdir]
 # (default outdir: results)
 set -euo pipefail
@@ -22,10 +23,16 @@ exps=(exp_fig1 exp_fig2 exp_bounds exp_waf_ratio exp_greedy_ratio exp_compare
       exp_distributed exp_conjecture exp_lemmas exp_area exp_root_ablation
       exp_broadcast exp_routing exp_mobility exp_election exp_anatomy
       exp_churn exp_build_scaling exp_profile exp_fault exp_serve
-      exp_substrate)
+      exp_substrate exp_hotpath)
 for e in "${exps[@]}"; do
   echo "### $e"
   cargo run --quiet --release -p mcds-bench --bin "$e" -- $quick --out "$out"
   echo
 done
+echo "### trajectory"
+cargo run --quiet --release -p mcds-bench --bin trajectory -- record \
+  --dir "$out" --out "$out/BENCH_trajectory.jsonl"
+cargo run --quiet --release -p mcds-bench --bin trajectory -- check \
+  --file "$out/BENCH_trajectory.jsonl"
+echo
 echo "All experiments completed; CSVs and figures in $out/"

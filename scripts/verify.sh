@@ -5,7 +5,8 @@
 #
 # With no STAGE arguments every stage runs.  Naming stages runs just
 # those (e.g. `scripts/verify.sh build serve bench`); stage names:
-#   build test fmt clippy check fuzz pool tracing serve substrate grid bench
+#   build test fmt clippy check fuzz pool tracing serve substrate grid
+#   kernel bench
 #
 # Hermetic by design — no network, no external dependencies.  The
 # proptest/criterion targets are feature-gated (`ext-tests`) and excluded
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-all_stages="build test fmt clippy check fuzz pool tracing serve substrate grid bench"
+all_stages="build test fmt clippy check fuzz pool tracing serve substrate grid kernel bench"
 no_clippy=""
 stages=()
 for arg in "$@"; do
@@ -200,6 +201,28 @@ if want grid; then
     --ignored grid_beats_naive_5x_at_20k
 fi
 
+if want kernel; then
+  echo "== kernel: forced-bitset solve --json byte-identical to forced-scalar =="
+  # Cross-process equivalence gate for the bitset hot-path kernels
+  # (DESIGN.md §14): the MCDS_KERNEL env var pins the kernel below and
+  # above the auto-selection threshold (512 nodes), and the full
+  # solve --json output — every algorithm, prune on — must not differ
+  # by a byte.
+  for spec in "200 7.9 31" "1500 21.7 32"; do
+    read -r kn kside kseed <<< "$spec"
+    cargo run --quiet --release -p mcds-cli -- gen --n "$kn" --side "$kside" \
+      --seed "$kseed" --connected -o "$det_dir/kernel_$kn.udg" > /dev/null
+    MCDS_KERNEL=scalar cargo run --quiet --release -p mcds-cli -- solve \
+      "$det_dir/kernel_$kn.udg" --alg all --prune --json \
+      > "$det_dir/kernel_${kn}_scalar.json"
+    MCDS_KERNEL=bitset cargo run --quiet --release -p mcds-cli -- solve \
+      "$det_dir/kernel_$kn.udg" --alg all --prune --json \
+      > "$det_dir/kernel_${kn}_bitset.json"
+    diff "$det_dir/kernel_${kn}_scalar.json" "$det_dir/kernel_${kn}_bitset.json"
+  done
+  echo "solve --json byte-identical under both kernels at n=200 and n=1500"
+fi
+
 if want bench; then
   echo "== bench: perf-trajectory record/compare regression gate =="
   # A quick profile ladder produces a real BENCH_profile.json; recording
@@ -207,9 +230,13 @@ if want bench; then
   # entry must trip the gate.
   cargo run --quiet --release -p mcds-bench --bin exp_profile -- --quick \
     --out "$det_dir/bench" > /dev/null
+  cargo run --quiet --release -p mcds-bench --bin exp_hotpath -- --quick \
+    --out "$det_dir/bench" > /dev/null
   traj="$det_dir/bench/BENCH_trajectory.jsonl"
   cargo run --quiet --release -p mcds-bench --bin trajectory -- record \
     --dir "$det_dir/bench" --out "$traj" > /dev/null
+  grep -q '"hotpath"' "$traj" || {
+    echo "recorded trajectory line lacks the hotpath bench" >&2; exit 1; }
   cargo run --quiet --release -p mcds-bench --bin trajectory -- record \
     --dir "$det_dir/bench" --out "$traj" > /dev/null
   cargo run --quiet --release -p mcds-bench --bin trajectory -- check \
